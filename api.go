@@ -1,0 +1,316 @@
+// Package conflux (module "repro") is the public API of this reproduction of
+// "On the Parallel I/O Optimality of Linear Algebra Kernels: Near-Optimal LU
+// Factorization" (Kwasniewski et al., PPoPP 2021).
+//
+// It exposes three capabilities:
+//
+//   - Factorize / Solve: run the COnfLUX near-communication-optimal LU
+//     factorization (or any of the paper's baselines) on a simulated
+//     P-rank distributed machine, with numeric results gathered at the
+//     caller.
+//   - CommVolume: replay any algorithm's communication schedule in volume
+//     mode and return the metered traffic — the paper's measurement
+//     methodology (§8).
+//   - LowerBoundLU and friends: the X-Partitioning I/O lower bounds of
+//     §3–§6.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package conflux
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cholesky"
+	"repro/internal/conflux"
+	"repro/internal/costmodel"
+	"repro/internal/lu25d"
+	"repro/internal/lu2d"
+	"repro/internal/mat"
+	"repro/internal/oocore"
+	"repro/internal/smpi"
+	"repro/internal/trace"
+	"repro/internal/xpart"
+)
+
+// Matrix is a dense row-major float64 matrix (re-exported).
+type Matrix = mat.Matrix
+
+// VolumeReport is a communication-volume report (re-exported).
+type VolumeReport = trace.Report
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
+
+// RandomMatrix returns a deterministic random n×n matrix, diagonally
+// boosted so factorizations are well conditioned.
+func RandomMatrix(n int, seed uint64) *Matrix { return mat.RandomDiagDominant(n, seed) }
+
+// Algorithm names one of the paper's four measured implementations.
+type Algorithm = costmodel.Algorithm
+
+// The four algorithms of the paper's evaluation (Table 2).
+const (
+	COnfLUX = costmodel.COnfLUX
+	CANDMC  = costmodel.CANDMC
+	LibSci  = costmodel.LibSci
+	SLATE   = costmodel.SLATE
+)
+
+// Options configures a distributed factorization.
+type Options struct {
+	// Ranks is the number of simulated processors P (default 4).
+	Ranks int
+	// Memory is the per-rank fast memory M in elements (default: enough
+	// for maximum replication, M = N²/P^(2/3), the paper's setting).
+	Memory float64
+	// Algorithm selects the implementation (default COnfLUX).
+	Algorithm Algorithm
+	// Timeout bounds the simulated run (default 10 minutes).
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Ranks <= 0 {
+		o.Ranks = 4
+	}
+	if o.Memory <= 0 {
+		o.Memory = costmodel.MaxMemoryParams(n, o.Ranks).M
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = COnfLUX
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Minute
+	}
+	return o
+}
+
+// Result is the outcome of a distributed factorization.
+type Result struct {
+	// LU holds the combined factors: row i of LU is row Perm[i] of P·A,
+	// unit-lower L below the diagonal, U on and above.
+	LU *Matrix
+	// Perm maps factor position -> original row index (A[Perm,:] = L·U).
+	Perm []int
+	// Volume is the communication-volume report of the run.
+	Volume *VolumeReport
+}
+
+// Factorize runs a distributed LU factorization of a (n×n) on a simulated
+// machine and returns the gathered factors. The input is not modified.
+func Factorize(a *Matrix, opts Options) (*Result, error) {
+	if a == nil || a.Rows != a.Cols {
+		return nil, fmt.Errorf("conflux: Factorize requires a square matrix")
+	}
+	n := a.Rows
+	o := opts.withDefaults(n)
+	var out *Result
+	rep, err := smpi.RunTimeout(o.Ranks, true, o.Timeout, func(c *smpi.Comm) error {
+		lu, perm, err := runAlgorithm(c, a, n, o)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = &Result{LU: lu, Perm: perm}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("conflux: no result gathered at rank 0")
+	}
+	out.Volume = rep
+	return out, nil
+}
+
+func runAlgorithm(c *smpi.Comm, a *Matrix, n int, o Options) (*Matrix, []int, error) {
+	var in *Matrix
+	if c.Rank() == 0 {
+		in = a
+	}
+	switch o.Algorithm {
+	case COnfLUX:
+		res, err := conflux.Run(c, in, conflux.DefaultOptions(n, o.Ranks, o.Memory))
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.LU, res.Perm, nil
+	case CANDMC:
+		res, err := lu25d.Run(c, in, lu25d.CANDMCOptions(n, o.Ranks, o.Memory))
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.LU, res.Perm, nil
+	case LibSci, SLATE:
+		var opt lu2d.Options
+		if o.Algorithm == LibSci {
+			opt = lu2d.LibSciOptions(n, o.Ranks, 32)
+		} else {
+			opt = lu2d.SLATEOptions(n, o.Ranks)
+		}
+		res, err := lu2d.Run(c, in, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Convert LAPACK interchanges to an explicit permutation.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for k, p := range res.Ipiv {
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		return res.LU, perm, nil
+	default:
+		return nil, nil, fmt.Errorf("conflux: unknown algorithm %q", o.Algorithm)
+	}
+}
+
+// Solve factorizes a and solves a·x = b, returning x. It uses COnfLUX
+// unless opts selects another algorithm.
+func Solve(a *Matrix, b []float64, opts Options) ([]float64, error) {
+	if a == nil || a.Rows != a.Cols || len(b) != a.Rows {
+		return nil, fmt.Errorf("conflux: Solve shape mismatch")
+	}
+	res, err := Factorize(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.SolveFactored(b)
+}
+
+// SolveFactored solves a·x = b using already-computed factors.
+func (r *Result) SolveFactored(b []float64) ([]float64, error) {
+	n := len(r.Perm)
+	if len(b) != n {
+		return nil, fmt.Errorf("conflux: rhs length %d != %d", len(b), n)
+	}
+	if r.LU == nil || r.LU.Phantom() {
+		return nil, fmt.Errorf("conflux: factors unavailable (volume-mode run?)")
+	}
+	x := make([]float64, n)
+	for i, p := range r.Perm {
+		x[i] = b[p]
+	}
+	// Forward substitution L·y = Pb (unit diagonal).
+	for i := 0; i < n; i++ {
+		row := r.LU.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := r.LU.Row(i)
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// CommVolume replays the algorithm's communication schedule at (n, p) in
+// volume mode (no arithmetic, identical byte counts) and returns the report.
+// Memory defaults to the paper's maximum-replication setting.
+func CommVolume(algo Algorithm, n, p int, memory float64) (*VolumeReport, error) {
+	o := Options{Ranks: p, Memory: memory, Algorithm: algo}.withDefaults(n)
+	rep, err := smpi.RunTimeout(o.Ranks, false, o.Timeout, func(c *smpi.Comm) error {
+		_, _, err := runAlgorithm(c, nil, n, o)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// AlgorithmBytes extracts the algorithm-attributed traffic from a report,
+// excluding the initial layout scatter and final verification gather.
+func AlgorithmBytes(rep *VolumeReport) int64 {
+	return rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)
+}
+
+// FactorizeSPD runs the 2.5D Cholesky factorization (the paper conclusions'
+// extension kernel) of a symmetric positive definite matrix on a simulated
+// machine, returning the lower factor L with a = L·Lᵀ and the volume report.
+func FactorizeSPD(a *Matrix, opts Options) (*Matrix, *VolumeReport, error) {
+	if a == nil || a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("conflux: FactorizeSPD requires a square matrix")
+	}
+	n := a.Rows
+	o := opts.withDefaults(n)
+	var l *Matrix
+	rep, err := smpi.RunTimeout(o.Ranks, true, o.Timeout, func(c *smpi.Comm) error {
+		var in *Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		res, err := cholesky.Run(c, in, cholesky.DefaultOptions(n, o.Ranks, o.Memory))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			l = res.L
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, rep, nil
+}
+
+// FactorizeOutOfCore runs the sequential blocked LU against an explicitly
+// metered M-element software cache (two-level memory), factoring a in place
+// (unpivoted; intended for diagonally dominant inputs) and returning the
+// element traffic — the sequential-machine counterpart of the paper's
+// parallel measurements, to be compared with LowerBoundLU(n, 1, m).
+func FactorizeOutOfCore(a *Matrix, memElements int) (loads, stores int64, err error) {
+	st, err := oocore.FactorizeOOC(a, memElements)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Loads, st.Stores, nil
+}
+
+// LowerBoundLU returns the paper's §6 parallel I/O lower bound for LU
+// factorization, in elements per processor: 2N³/(3P√M) + N(N−1)/(2P).
+// memory <= 0 selects the paper's maximum-replication setting.
+func LowerBoundLU(n, p int, memory float64) float64 {
+	return xpart.LUParallelLowerBound(n, p, defaultMem(n, p, memory))
+}
+
+// LowerBoundMMM returns the matrix-multiplication bound 2N³/(P√M).
+func LowerBoundMMM(n, p int, memory float64) float64 {
+	return xpart.MMMSequentialLowerBound(n, defaultMem(n, p, memory)) / float64(p)
+}
+
+// LowerBoundCholesky returns the Cholesky bound derived with the same
+// machinery (≈ N³/(3P√M)).
+func LowerBoundCholesky(n, p int, memory float64) float64 {
+	return xpart.CholeskyLowerBound(n, defaultMem(n, p, memory)) / float64(p)
+}
+
+func defaultMem(n, p int, memory float64) float64 {
+	if memory <= 0 {
+		return costmodel.MaxMemoryParams(n, p).M
+	}
+	return memory
+}
+
+// ModelPerRankElements returns the Table 2 cost model for an algorithm, in
+// elements per rank. memory <= 0 selects the paper's maximum-replication
+// setting M = N²/P^(2/3).
+func ModelPerRankElements(algo Algorithm, n, p int, memory float64) float64 {
+	if memory <= 0 {
+		memory = costmodel.MaxMemoryParams(n, p).M
+	}
+	return costmodel.PerRankElements(algo, costmodel.Params{N: n, P: p, M: memory})
+}

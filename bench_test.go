@@ -1,0 +1,272 @@
+package conflux
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§8–§9), plus ablation and kernel micro-benchmarks. Each bench
+// replays the communication schedules in volume mode and reports the metered
+// traffic through b.ReportMetric, so `go test -bench=. -benchmem` regenerates
+// the paper's rows/series at test scale. Paper-scale parameters (N=16,384,
+// P=1,024) are driven by `go run ./cmd/confluxbench -scale paper`; results
+// for both scales are recorded in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/blas"
+	"repro/internal/cholesky"
+	"repro/internal/costmodel"
+	"repro/internal/daap"
+	"repro/internal/lapack"
+	"repro/internal/mat"
+	"repro/internal/pebble"
+	"repro/internal/smpi"
+	"repro/internal/xpart"
+)
+
+// smpiVolumeCholesky replays the 2.5D Cholesky schedule in volume mode.
+func smpiVolumeCholesky(n int, o Options) (*VolumeReport, error) {
+	opt := cholesky.DefaultOptions(n, o.Ranks, o.Memory)
+	return smpi.RunTimeout(o.Ranks, false, 10*time.Minute, func(c *smpi.Comm) error {
+		_, err := cholesky.Run(c, nil, opt)
+		return err
+	})
+}
+
+func costMaxMem(n, p int) float64 {
+	return costmodel.MaxMemoryParams(n, p).M
+}
+
+// BenchmarkTable2 regenerates Table 2: measured vs modeled aggregate
+// communication volume for the four implementations.
+func BenchmarkTable2(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		for _, p := range []int{4, 16} {
+			b.Run(fmt.Sprintf("N=%d/P=%d", n, p), func(b *testing.B) {
+				var ms []bench.Measurement
+				for i := 0; i < b.N; i++ {
+					var err error
+					ms, err = bench.MeasureAll(n, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, m := range ms {
+					b.ReportMetric(float64(m.MeasuredBytes)/1e6, string(m.Algo)+"-MB")
+					b.ReportMetric(m.PredictionPct(), string(m.Algo)+"-pred%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6a regenerates the strong-scaling series: per-node volume vs P
+// at fixed N, for every algorithm.
+func BenchmarkFig6a(b *testing.B) {
+	n := 256
+	for _, p := range []int{4, 8, 16, 32} {
+		for _, algo := range costmodel.Algorithms {
+			b.Run(fmt.Sprintf("%s/P=%d", algo, p), func(b *testing.B) {
+				var m bench.Measurement
+				for i := 0; i < b.N; i++ {
+					var err error
+					m, err = bench.Measure(algo, n, p, costmodel.MaxMemoryParams(n, p).M)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(m.PerNodeBytes()/1e3, "KB/node")
+				b.ReportMetric(m.ModeledBytes/float64(p)/1e3, "model-KB/node")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6b regenerates the weak-scaling series N = base·∛P.
+func BenchmarkFig6b(b *testing.B) {
+	base := 64
+	for _, p := range []int{8, 27, 64} {
+		n := bench.WeakScalingN(base, p)
+		for _, algo := range []costmodel.Algorithm{costmodel.LibSci, costmodel.COnfLUX} {
+			b.Run(fmt.Sprintf("%s/P=%d", algo, p), func(b *testing.B) {
+				var m bench.Measurement
+				for i := 0; i < b.N; i++ {
+					var err error
+					m, err = bench.Measure(algo, n, p, costmodel.MaxMemoryParams(n, p).M)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(m.PerNodeBytes()/1e3, "KB/node")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the reduction-vs-second-best heatmap (measured
+// cells at small P, model-predicted cells at Summit scale).
+func BenchmarkFig7(b *testing.B) {
+	var res *bench.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.RunFig7([]int{256}, []int{4, 16, 27648, 262144}, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range res.Cells {
+		kind := "pred"
+		if c.Measured {
+			kind = "meas"
+		}
+		b.ReportMetric(c.Reduction, fmt.Sprintf("x-P%d-%s", c.P, kind))
+	}
+}
+
+// BenchmarkAblationMaskingVsSwapping backs §7.3's row-masking argument.
+func BenchmarkAblationMaskingVsSwapping(b *testing.B) {
+	var ab bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		ab, err = bench.MaskingVsSwapping(192, 8, float64(192*192)/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ab.Ratio(), "swap/mask-ratio")
+}
+
+// BenchmarkAblationGridOptimization backs the §8 Processor Grid Optimization
+// (Fig. 6a inset) for an awkward rank count.
+func BenchmarkAblationGridOptimization(b *testing.B) {
+	var ab bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		ab, err = bench.GridOptimizationOnOff(128, 7, float64(128*128))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ab.Ratio(), "greedy/optimized-ratio")
+}
+
+// BenchmarkAblationBlockSize sweeps the §7.2 blocking parameter v.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	var ms []bench.Measurement
+	for i := 0; i < b.N; i++ {
+		var err error
+		ms, err = bench.BlockSizeSweep(128, 4, float64(128*128), []int{4, 8, 16, 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range ms {
+		unit := strings.ReplaceAll(m.GridDesc, " ", "") + "-KB"
+		b.ReportMetric(float64(m.MeasuredBytes)/1e3, unit)
+	}
+}
+
+// BenchmarkLowerBoundDerivation measures the §3 generic optimizer pipeline.
+func BenchmarkLowerBoundDerivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if q := xpart.LUDerivedLowerBound(4096, 64, 1<<20); q <= 0 {
+			b.Fatal("bad bound")
+		}
+	}
+}
+
+// BenchmarkPebbleGreedy measures the red-blue pebble game scheduler on the
+// Fig. 1 cDAG.
+func BenchmarkPebbleGreedy(b *testing.B) {
+	g := daap.BuildLUCDAG(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pebble.Greedy(g, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionCholesky meters the 2.5D Cholesky extension (the
+// conclusions' future-work kernel) against the derived lower bound.
+func BenchmarkExtensionCholesky(b *testing.B) {
+	var rep *VolumeReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = func() (*VolumeReport, error) {
+			o := Options{Ranks: 16}.withDefaults(256)
+			return smpiVolumeCholesky(256, o)
+		}()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(AlgorithmBytes(rep))/1e3, "KB")
+	b.ReportMetric(LowerBoundCholesky(256, 16, costMaxMem(256, 16))*8*16/1e3, "lower-KB")
+}
+
+// BenchmarkExtensionOutOfCore meters the sequential software-cache LU
+// against the §6 sequential bound 2N³/(3√M).
+func BenchmarkExtensionOutOfCore(b *testing.B) {
+	n, m := 192, 3*16*16
+	var total int64
+	for i := 0; i < b.N; i++ {
+		a := mat.RandomDiagDominant(n, 7)
+		loads, stores, err := FactorizeOutOfCore(a, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = loads + stores
+	}
+	b.ReportMetric(float64(total), "elements")
+	b.ReportMetric(float64(total)/LowerBoundLU(n, 1, float64(m)), "x-over-bound")
+}
+
+// BenchmarkGemm and BenchmarkGetrf are substrate micro-benchmarks.
+func BenchmarkGemm(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			x := mat.Random(n, n, 1)
+			y := mat.Random(n, n, 2)
+			z := mat.New(n, n)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blas.Gemm(1, x, y, 0, z)
+			}
+		})
+	}
+}
+
+func BenchmarkGetrf(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			a := mat.RandomDiagDominant(n, 3)
+			ipiv := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lu := a.Clone()
+				if err := lapack.Getrf(lu, ipiv, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFactorizeNumeric measures the end-to-end numeric distributed
+// factorization through the public API.
+func BenchmarkFactorizeNumeric(b *testing.B) {
+	a := RandomMatrix(128, 9)
+	for _, algo := range []Algorithm{COnfLUX, LibSci} {
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Factorize(a, Options{Ranks: 4, Algorithm: algo}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,16 @@
+package main
+
+// -cell mode: run a single Table-2 cell and print rows as they complete
+// (used by the EXPERIMENTS.md pipeline so paper-scale runs stream results).
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+func runCell(n, p int) {
+	for _, row := range bench.TableCell(n, p) {
+		fmt.Print(row)
+	}
+}

@@ -1,0 +1,177 @@
+// Command confluxbench regenerates the paper's evaluation artifacts
+// (Table 2, Fig. 6a, Fig. 6b, Fig. 7, and the §7 design ablations) on the
+// simulated machine. Scale presets:
+//
+//	-scale small   fast sanity runs (default)
+//	-scale medium  minutes; shapes clearly visible
+//	-scale paper   the paper's N and P (N up to 16,384, P up to 1,024);
+//	               budget tens of minutes
+//
+// Examples:
+//
+//	confluxbench -exp table2 -scale paper
+//	confluxbench -exp fig6a -scale medium
+//	confluxbench -exp ablation
+//	confluxbench -exp all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+type scale struct {
+	table2N, table2P []int
+	fig6aN           int
+	fig6aP           []int
+	fig6bBase        int
+	fig6bP           []int
+	fig7N, fig7P     []int
+	fig7Measured     int
+	ablN, ablP       int
+}
+
+var scales = map[string]scale{
+	"small": {
+		table2N: []int{128, 256}, table2P: []int{4, 16},
+		fig6aN: 256, fig6aP: []int{4, 8, 12, 16, 32},
+		fig6bBase: 64, fig6bP: []int{1, 8, 27, 64},
+		fig7N: []int{128, 256}, fig7P: []int{4, 16, 4096, 262144}, fig7Measured: 64,
+		ablN: 192, ablP: 8,
+	},
+	"medium": {
+		table2N: []int{512, 1024}, table2P: []int{16, 64},
+		fig6aN: 1024, fig6aP: []int{4, 8, 16, 24, 32, 48, 64, 96, 128},
+		fig6bBase: 256, fig6bP: []int{1, 8, 27, 64},
+		fig7N: []int{512, 1024}, fig7P: []int{16, 64, 256, 4096, 65536}, fig7Measured: 256,
+		ablN: 512, ablP: 32,
+	},
+	"paper": {
+		table2N: []int{4096, 16384}, table2P: []int{64, 1024},
+		fig6aN: 16384, fig6aP: []int{4, 8, 16, 32, 64, 128, 256, 512, 768, 1024},
+		fig6bBase: 3200, fig6bP: []int{1, 8, 27, 64, 125, 216},
+		fig7N: []int{4096, 8192, 16384}, fig7P: []int{64, 256, 1024, 16384, 27648, 262144}, fig7Measured: 1024,
+		ablN: 4096, ablP: 64,
+	},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | all")
+	sc := flag.String("scale", "small", "scale preset: small | medium | paper")
+	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
+	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+	writeCSV := func(name string, f func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		fh, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		if err := f(fh); err != nil {
+			fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *exp == "cell" {
+		runCell(*cellN, *cellP)
+		return
+	}
+	s, ok := scales[*sc]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *sc)
+		os.Exit(2)
+	}
+	run := func(name string, f func(scale) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("=== %s (scale %s) ===\n", name, *sc)
+		if err := f(s); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table2", func(s scale) error {
+		res, err := bench.RunTable2(s.table2N, s.table2P)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		writeCSV("table2.csv", func(w *os.File) error { return res.WriteCSV(w) })
+		return nil
+	})
+	run("fig6a", func(s scale) error {
+		res, err := bench.RunFig6a(s.fig6aN, s.fig6aP)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		writeCSV("fig6a.csv", func(w *os.File) error { return res.WriteCSV(w) })
+		return nil
+	})
+	run("fig6b", func(s scale) error {
+		res, err := bench.RunFig6b(s.fig6bBase, s.fig6bP)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		writeCSV("fig6b.csv", func(w *os.File) error { return res.WriteCSV(w) })
+		return nil
+	})
+	run("fig7", func(s scale) error {
+		res, err := bench.RunFig7(s.fig7N, s.fig7P, s.fig7Measured)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		writeCSV("fig7.csv", func(w *os.File) error { return res.WriteCSV(w) })
+		red, algo := bench.SummitPrediction(16384, 27648)
+		fmt.Printf("Summit full-scale prediction (N=16384, P=27648): %.2fx less than %s (paper: 2.1x)\n", red, algo)
+		fmt.Printf("CANDMC-vs-2D model crossover at N=16384: P ≈ %d ranks (paper: ≈450k)\n", bench.CrossoverReport(16384))
+		return nil
+	})
+	run("ablation", func(s scale) error {
+		mem := float64(s.ablN) * float64(s.ablN) / 4
+		ab, err := bench.MaskingVsSwapping(s.ablN, s.ablP, mem)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, ab)
+		ab, err = bench.GridOptimizationOnOff(s.ablN, 7, mem)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, ab)
+		ab, err = bench.TournamentVsPartialPivoting(s.ablN, s.ablP, mem)
+		if err != nil {
+			return err
+		}
+		bench.RenderAblation(os.Stdout, ab)
+		return nil
+	})
+	run("sweep", func(s scale) error {
+		mem := float64(s.ablN) * float64(s.ablN) / 4
+		ms, err := bench.BlockSizeSweep(s.ablN, s.ablP, mem, []int{4, 8, 16, 32, 64})
+		if err != nil {
+			return err
+		}
+		fmt.Println("COnfLUX blocking-parameter sweep (paper §7.2):")
+		for _, m := range ms {
+			fmt.Printf("  %-18s %12d bytes %10d msgs\n", m.GridDesc, m.MeasuredBytes, m.Msgs)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,44 @@
+package conflux_test
+
+import (
+	"fmt"
+
+	conflux "repro"
+)
+
+// Factorize a small matrix with COnfLUX on four simulated ranks and verify
+// one reconstructed entry.
+func ExampleFactorize() {
+	a := conflux.RandomMatrix(32, 7)
+	res, err := conflux.Factorize(a, conflux.Options{Ranks: 4})
+	if err != nil {
+		panic(err)
+	}
+	// Row 0 of the factors corresponds to row res.Perm[0] of A, and
+	// L(0,:)·U(:,0) = U(0,0) because L has a unit diagonal.
+	diff := res.LU.At(0, 0) - a.At(res.Perm[0], 0)
+	fmt.Printf("|LU(0,0) - A[perm[0],0]| < 1e-12: %v\n", diff*diff < 1e-24)
+	// Output:
+	// |LU(0,0) - A[perm[0],0]| < 1e-12: true
+}
+
+// Meter an algorithm's communication schedule without doing arithmetic.
+func ExampleCommVolume() {
+	cfx, _ := conflux.CommVolume(conflux.COnfLUX, 256, 16, 0)
+	lib, _ := conflux.CommVolume(conflux.LibSci, 256, 16, 0)
+	fmt.Printf("COnfLUX moves less than ScaLAPACK-style 2D: %v\n",
+		conflux.AlgorithmBytes(cfx) < conflux.AlgorithmBytes(lib))
+	// Output:
+	// COnfLUX moves less than ScaLAPACK-style 2D: true
+}
+
+// The paper's §6 lower bound and COnfLUX's 3/2-optimality gap.
+func ExampleLowerBoundLU() {
+	n, p := 16384, 1024
+	m := 0.0 // default: the paper's maximum-replication memory
+	bound := conflux.LowerBoundLU(n, p, m)
+	leading := conflux.ModelPerRankElements(conflux.COnfLUX, n, p, m)
+	fmt.Printf("COnfLUX model within 3x of the lower bound: %v\n", leading < 3*bound)
+	// Output:
+	// COnfLUX model within 3x of the lower bound: true
+}

@@ -1,0 +1,50 @@
+// Commvolume: a miniature Fig. 6a — measure the communication volume of all
+// four LU implementations across rank counts (volume mode: the exact
+// schedule without the arithmetic) and print measured vs modeled per-node
+// traffic.
+//
+//	go run ./examples/commvolume
+package main
+
+import (
+	"fmt"
+	"log"
+
+	conflux "repro"
+)
+
+func main() {
+	const n = 256
+	algos := []conflux.Algorithm{conflux.LibSci, conflux.SLATE, conflux.CANDMC, conflux.COnfLUX}
+
+	fmt.Printf("communication volume per node [KB], N=%d (mini Fig. 6a)\n", n)
+	fmt.Printf("%6s", "P")
+	for _, a := range algos {
+		fmt.Printf(" %10s", a)
+	}
+	fmt.Println(" | winner")
+	for _, p := range []int{4, 8, 16, 32} {
+		fmt.Printf("%6d", p)
+		best, bestV := conflux.Algorithm(""), 1e18
+		for _, a := range algos {
+			rep, err := conflux.CommVolume(a, n, p, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perNode := float64(conflux.AlgorithmBytes(rep)) / float64(p) / 1e3
+			fmt.Printf(" %10.1f", perNode)
+			if perNode < bestV {
+				best, bestV = a, perNode
+			}
+		}
+		fmt.Printf(" | %s\n", best)
+	}
+	fmt.Println("\nmodel lines (elements per rank, Table 2):")
+	for _, p := range []int{4, 8, 16, 32} {
+		fmt.Printf("  P=%-4d", p)
+		for _, a := range algos {
+			fmt.Printf(" %s=%.0f", a, conflux.ModelPerRankElements(a, n, p, 0.25*float64(n*n)))
+		}
+		fmt.Println()
+	}
+}

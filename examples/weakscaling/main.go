@@ -1,0 +1,56 @@
+// Weakscaling: a miniature Fig. 6b — hold the work per node constant
+// (N = base·∛P) and watch the 2.5D algorithms hold their per-node
+// communication flat while the 2D algorithms grow as P^{1/6}.
+//
+//	go run ./examples/weakscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	conflux "repro"
+)
+
+func main() {
+	const base = 64
+	ps := []int{1, 8, 27, 64}
+	algos := []conflux.Algorithm{conflux.LibSci, conflux.COnfLUX}
+
+	fmt.Printf("weak scaling, N = %d*cbrt(P): per-node volume [KB] (mini Fig. 6b)\n", base)
+	fmt.Printf("%6s %6s", "P", "N")
+	for _, a := range algos {
+		fmt.Printf(" %10s", a)
+	}
+	fmt.Println()
+	first := map[conflux.Algorithm]float64{}
+	last := map[conflux.Algorithm]float64{}
+	for _, p := range ps {
+		n := int(float64(base) * math.Cbrt(float64(p)))
+		if r := n % 16; r != 0 {
+			n += 16 - r
+		}
+		fmt.Printf("%6d %6d", p, n)
+		for _, a := range algos {
+			rep, err := conflux.CommVolume(a, n, p, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perNode := float64(conflux.AlgorithmBytes(rep)) / float64(p) / 1e3
+			fmt.Printf(" %10.1f", perNode)
+			if p == ps[1] {
+				first[a] = perNode
+			}
+			if p == ps[len(ps)-1] {
+				last[a] = perNode
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ngrowth P=%d -> P=%d:  %s %.2fx,  %s %.2fx\n",
+		ps[1], ps[len(ps)-1],
+		conflux.LibSci, last[conflux.LibSci]/first[conflux.LibSci],
+		conflux.COnfLUX, last[conflux.COnfLUX]/first[conflux.COnfLUX])
+	fmt.Println("(paper Fig. 6b: 2.5D algorithms retain constant volume per processor)")
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/conflux"
+	"repro/internal/costmodel"
+	"repro/internal/grid"
+	"repro/internal/lu25d"
+	"repro/internal/lu2d"
+	"repro/internal/smpi"
+	"repro/internal/trace"
+)
+
+// AblationResult captures an A/B comparison backing one of the paper's §7
+// design arguments.
+type AblationResult struct {
+	Name   string
+	A, B   string
+	ABytes int64
+	BBytes int64
+	AMsgs  int64
+	BMsgs  int64
+	Note   string
+}
+
+// Ratio returns BBytes/ABytes.
+func (a AblationResult) Ratio() float64 { return float64(a.BBytes) / float64(a.ABytes) }
+
+// MaskingVsSwapping runs COnfLUX (row masking) and the CANDMC-style engine
+// (physical row swapping) on an IDENTICAL grid and block size, isolating the
+// §7.3 claim that swapping inflates the leading I/O term.
+func MaskingVsSwapping(n, p int, mem float64) (AblationResult, error) {
+	c := grid.MaxReplication(p, mem, n)
+	for c > 1 && p%c != 0 {
+		c--
+	}
+	layer := grid.Square2D(p / c)
+	g := grid.Grid{Pr: layer.Pr, Pc: layer.Pc, Layers: c, Total: p}
+	v := 2 * c
+	if v < 4 {
+		v = 4
+	}
+	repA, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		_, err := conflux.Run(cm, nil, conflux.Options{N: n, V: v, Grid: g})
+		return err
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	repB, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		_, err := lu25d.Run(cm, nil, lu25d.Options{N: n, V: v, Grid: g})
+		return err
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Name:   "masking-vs-swapping",
+		A:      "COnfLUX (row masking)",
+		B:      "2.5D with physical row swapping (CANDMC-style)",
+		ABytes: repA.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
+		BBytes: repB.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
+		AMsgs:  repA.TotalMsgs(),
+		BMsgs:  repB.TotalMsgs(),
+		Note:   fmt.Sprintf("same %dx%dx%d grid, v=%d; paper §7.3: swapping adds ~1x leading term", g.Pr, g.Pc, g.Layers, v),
+	}, nil
+}
+
+// TournamentVsPartialPivoting compares pivoting-phase MESSAGE counts
+// (latency proxy) between COnfLUX's tournament pivoting and the 2D
+// engine's per-column partial pivoting: O(N/v · log P) vs O(N · log P)
+// rounds (§7.3).
+func TournamentVsPartialPivoting(n, p int, mem float64) (AblationResult, error) {
+	optC := conflux.DefaultOptions(n, p, mem)
+	repA, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		_, err := conflux.Run(cm, nil, optC)
+		return err
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	repB, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		_, err := lu2d.Run(cm, nil, lu2d.LibSciOptions(n, p, LibSciNB))
+		return err
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Name:   "tournament-vs-partial-pivoting",
+		A:      "COnfLUX tournament pivoting",
+		B:      "2D partial pivoting (per-column maxloc)",
+		ABytes: repA.ByPhase["COnfLUX.pivot"],
+		BBytes: repB.ByPhase["LibSci.panel"],
+		AMsgs:  repA.PhaseMsgs["COnfLUX.pivot"],
+		BMsgs:  repB.PhaseMsgs["LibSci.panel"],
+		Note:   "pivoting phases only; §7.3: tournament needs O(N/v) rounds vs O(N) for partial pivoting",
+	}, nil
+}
+
+// GridOptimizationOnOff measures COnfLUX with and without the Processor
+// Grid Optimization for an awkward (non-factorable) rank count — the
+// Fig. 6a inset effect.
+func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
+	optOn := conflux.DefaultOptions(n, p, mem)
+	repA, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		_, err := conflux.Run(cm, nil, optOn)
+		return err
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	// "Off": greedily use ALL ranks in the squarest single-layer grid, as
+	// the 2D libraries do.
+	g := grid.Square2D(p)
+	v := optOn.V
+	repB, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		_, err := conflux.Run(cm, nil, conflux.Options{N: n, V: v, Grid: g})
+		return err
+	})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Name:   "grid-optimization",
+		A:      fmt.Sprintf("optimized grid %s", describe(optOn.Grid)),
+		B:      fmt.Sprintf("greedy all-ranks grid %dx%dx1", g.Pr, g.Pc),
+		ABytes: repA.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
+		BBytes: repB.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
+		AMsgs:  repA.TotalMsgs(),
+		BMsgs:  repB.TotalMsgs(),
+		Note:   "paper §8: greedy grids cause the Fig. 6a outliers for difficult rank counts",
+	}, nil
+}
+
+// BlockSizeSweep measures COnfLUX volume across blocking parameters v —
+// the §7.2 tunable ("adjusted to hardware parameters").
+func BlockSizeSweep(n, p int, mem float64, vs []int) ([]Measurement, error) {
+	base := conflux.DefaultOptions(n, p, mem)
+	var out []Measurement
+	for _, v := range vs {
+		if v < base.Grid.Layers || v > n {
+			continue
+		}
+		opt := base
+		opt.V = v
+		rep, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+			_, err := conflux.Run(cm, nil, opt)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Measurement{
+			Algo: costmodel.COnfLUX, N: n, P: p, M: mem,
+			MeasuredBytes: rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
+			Msgs:          rep.TotalMsgs(),
+			GridDesc:      fmt.Sprintf("v=%d %s", v, describe(opt.Grid)),
+		})
+	}
+	return out, nil
+}
+
+func describe(g grid.Grid) string {
+	return fmt.Sprintf("%dx%dx%d", g.Pr, g.Pc, g.Layers)
+}
+
+// RenderAblation writes one comparison.
+func RenderAblation(w io.Writer, a AblationResult) {
+	fmt.Fprintf(w, "Ablation: %s\n", a.Name)
+	fmt.Fprintf(w, "  A: %-50s %12d bytes %10d msgs\n", a.A, a.ABytes, a.AMsgs)
+	fmt.Fprintf(w, "  B: %-50s %12d bytes %10d msgs\n", a.B, a.BBytes, a.BMsgs)
+	fmt.Fprintf(w, "  B/A volume ratio: %.2fx   (%s)\n", a.Ratio(), a.Note)
+}

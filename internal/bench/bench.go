@@ -1,0 +1,124 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§8–§9) by running the four LU
+// implementations in volume mode on the simulated machine, metering the
+// aggregate bytes sent (the paper's Score-P methodology), and pairing the
+// measurements with the Table 2 cost models. See DESIGN.md §3 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/conflux"
+	"repro/internal/costmodel"
+	"repro/internal/lu25d"
+	"repro/internal/lu2d"
+	"repro/internal/smpi"
+	"repro/internal/trace"
+)
+
+// Measurement is one (algorithm, N, P) volume-mode data point.
+type Measurement struct {
+	Algo          costmodel.Algorithm
+	N, P          int
+	M             float64
+	MeasuredBytes int64   // aggregate payload bytes, layout/collect excluded
+	ModeledBytes  float64 // Table 2 model (paper's published models)
+	FittedBytes   float64 // this implementation's fitted model (COnfLUX only)
+	Msgs          int64
+	GridDesc      string
+}
+
+// MeasuredGB returns the measured volume in GB (Table 2 units).
+func (m Measurement) MeasuredGB() float64 { return float64(m.MeasuredBytes) / 1e9 }
+
+// ModeledGB returns the modeled volume in GB.
+func (m Measurement) ModeledGB() float64 { return m.ModeledBytes / 1e9 }
+
+// PredictionPct returns modeled/measured ×100 — Table 2's "(prediction %)".
+func (m Measurement) PredictionPct() float64 {
+	if m.MeasuredBytes == 0 {
+		return 0
+	}
+	return 100 * m.ModeledBytes / float64(m.MeasuredBytes)
+}
+
+// PerNodeBytes returns the measured per-rank volume (Fig. 6 y-axis).
+func (m Measurement) PerNodeBytes() float64 {
+	return float64(m.MeasuredBytes) / float64(m.P)
+}
+
+// Timeout bounds a single volume-mode run; paper-scale points take minutes.
+var Timeout = 30 * time.Minute
+
+// LibSciNB is the "user-specified" ScaLAPACK block size used throughout the
+// harness (Table 2 lists LibSci's block size as a user parameter).
+const LibSciNB = 32
+
+// Measure runs one algorithm at (n, p) with per-rank memory m (elements) in
+// volume mode and returns the measurement.
+func Measure(algo costmodel.Algorithm, n, p int, mem float64) (Measurement, error) {
+	out := Measurement{Algo: algo, N: n, P: p, M: mem}
+	params := costmodel.Params{N: n, P: p, M: mem}
+	out.ModeledBytes = costmodel.TotalBytes(algo, params)
+
+	var rep *trace.Report
+	var err error
+	var gridDesc string
+	switch algo {
+	case costmodel.LibSci:
+		opt := lu2d.LibSciOptions(n, p, LibSciNB)
+		gridDesc = fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc)
+		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+			_, err := lu2d.Run(c, nil, opt)
+			return err
+		})
+	case costmodel.SLATE:
+		opt := lu2d.SLATEOptions(n, p)
+		gridDesc = fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc)
+		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+			_, err := lu2d.Run(c, nil, opt)
+			return err
+		})
+	case costmodel.CANDMC:
+		opt := lu25d.CANDMCOptions(n, p, mem)
+		gridDesc = fmt.Sprintf("%dx%dx%d", opt.Grid.Pr, opt.Grid.Pc, opt.Grid.Layers)
+		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+			_, err := lu25d.Run(c, nil, opt)
+			return err
+		})
+	case costmodel.COnfLUX:
+		opt := conflux.DefaultOptions(n, p, mem)
+		gridDesc = fmt.Sprintf("%dx%dx%d (%d used)", opt.Grid.Pr, opt.Grid.Pc, opt.Grid.Layers, opt.Grid.Used())
+		out.FittedBytes = conflux.ModelPerRankElements(params) * float64(p) * trace.BytesPerElement
+		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+			_, err := conflux.Run(c, nil, opt)
+			return err
+		})
+	default:
+		return out, fmt.Errorf("bench: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return out, fmt.Errorf("bench: %s N=%d P=%d: %w", algo, n, p, err)
+	}
+	out.GridDesc = gridDesc
+	out.MeasuredBytes = rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)
+	out.Msgs = rep.TotalMsgs()
+	return out, nil
+}
+
+// MeasureAll measures every algorithm at the paper's memory setting
+// M = N²/P^{2/3} (maximum replication, Fig. 6 caption).
+func MeasureAll(n, p int) ([]Measurement, error) {
+	params := costmodel.MaxMemoryParams(n, p)
+	out := make([]Measurement, 0, len(costmodel.Algorithms))
+	for _, algo := range costmodel.Algorithms {
+		m, err := Measure(algo, n, p, params.M)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

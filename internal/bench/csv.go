@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/xpart"
+)
+
+// CSV writers: one per experiment, emitting the series needed to re-plot
+// the paper's figures with any plotting tool.
+
+// WriteCSV emits Table 2 rows: n,p,algo,measured_bytes,model_bytes,pred_pct.
+func (t *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"n", "p", "algo", "measured_bytes", "model_bytes", "prediction_pct", "grid"}); err != nil {
+		return err
+	}
+	for _, m := range t.Rows {
+		if err := cw.Write([]string{
+			itoa(m.N), itoa(m.P), string(m.Algo),
+			fmt.Sprintf("%d", m.MeasuredBytes),
+			fmt.Sprintf("%.0f", m.ModeledBytes),
+			fmt.Sprintf("%.2f", m.PredictionPct()),
+			m.GridDesc,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits Fig. 6a series: p,algo,measured_per_node,model_per_node,
+// lower_bound_per_node (bytes).
+func (f *Fig6aResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"p", "algo", "measured_per_node_bytes", "model_per_node_bytes", "lower_bound_bytes"}); err != nil {
+		return err
+	}
+	for _, m := range f.Points {
+		params := costmodel.Params{N: m.N, P: m.P, M: m.M}
+		lb := xpart.LUParallelLowerBound(m.N, m.P, m.M) * 8
+		if err := cw.Write([]string{
+			itoa(m.P), string(m.Algo),
+			fmt.Sprintf("%.0f", m.PerNodeBytes()),
+			fmt.Sprintf("%.0f", costmodel.PerRankBytes(m.Algo, params)),
+			fmt.Sprintf("%.0f", lb),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits Fig. 6b series: p,n,algo,measured_per_node_bytes.
+func (f *Fig6bResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"p", "n", "algo", "measured_per_node_bytes"}); err != nil {
+		return err
+	}
+	for _, m := range f.Points {
+		if err := cw.Write([]string{
+			itoa(m.P), itoa(m.N), string(m.Algo),
+			fmt.Sprintf("%.0f", m.PerNodeBytes()),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits Fig. 7 cells: n,p,reduction,second_best,kind.
+func (f *Fig7Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"n", "p", "reduction", "second_best", "kind"}); err != nil {
+		return err
+	}
+	for _, c := range f.Cells {
+		kind := "predicted"
+		if c.Measured {
+			kind = "measured"
+		}
+		if err := cw.Write([]string{
+			itoa(c.N), itoa(c.P),
+			fmt.Sprintf("%.4f", c.Reduction),
+			string(c.SecondBest), kind,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

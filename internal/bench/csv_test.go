@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v", err)
+	}
+	return rows
+}
+
+func TestTable2CSV(t *testing.T) {
+	res, err := RunTable2([]int{128}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 5 { // header + 4 algorithms
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0][0] != "n" || rows[0][3] != "measured_bytes" {
+		t.Fatalf("header %v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r[0] != "128" || r[1] != "4" {
+			t.Fatalf("row %v", r)
+		}
+	}
+}
+
+func TestFig6aCSV(t *testing.T) {
+	res, err := RunFig6a(128, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 5 || len(rows[1]) != 5 {
+		t.Fatalf("shape: %d rows", len(rows))
+	}
+}
+
+func TestFig6bCSV(t *testing.T) {
+	res, err := RunFig6b(32, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, sb.String()); len(rows) != 9 { // header + 2P × 4 algos
+		t.Fatalf("rows %d", len(rows))
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	res, err := RunFig7([]int{128}, []int{4, 100000}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[1][4] != "measured" || rows[2][4] != "predicted" {
+		t.Fatalf("kinds: %v / %v", rows[1], rows[2])
+	}
+}

@@ -1,0 +1,58 @@
+// Package blas implements the subset of BLAS-like dense kernels the LU
+// factorizations need, in pure Go on top of internal/mat. All kernels treat
+// phantom operands as no-ops so that the volume-mode benchmark runs execute
+// the same call graph as numeric runs without doing arithmetic.
+package blas
+
+import "math"
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal computes x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Idamax returns the index of the entry of x with the largest magnitude
+// (first occurrence). Returns -1 for empty x.
+func Idamax(x []float64) int {
+	best, bi := -1.0, -1
+	for i, v := range x {
+		if a := math.Abs(v); a > best {
+			best, bi = a, i
+		}
+	}
+	return bi
+}
+
+// Swap exchanges x and y elementwise.
+func Swap(x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Swap length mismatch")
+	}
+	for i := range x {
+		x[i], y[i] = y[i], x[i]
+	}
+}

@@ -1,0 +1,194 @@
+package blas
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Gemm computes C = alpha*A*B + beta*C for row-major matrices.
+// Phantom operands make the call a no-op (shape checks still apply).
+func Gemm(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: Gemm shapes %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if a.Phantom() || b.Phantom() || c.Phantom() {
+		return
+	}
+	if beta != 1 {
+		for i := 0; i < c.Rows; i++ {
+			row := c.Row(i)
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	// i-k-j loop order: unit-stride access on B and C rows.
+	for i := 0; i < a.Rows; i++ {
+		arow, crow := a.Row(i), c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range crow {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// GemmMaskedRows is Gemm restricted to the rows i of A and C for which
+// active[i] is true. COnfLUX's row masking (paper §7.3) updates only
+// not-yet-pivoted rows in place of physically swapping them out.
+func GemmMaskedRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix, active []bool) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic("blas: GemmMaskedRows shape mismatch")
+	}
+	if len(active) != a.Rows {
+		panic("blas: GemmMaskedRows mask length mismatch")
+	}
+	if a.Phantom() || b.Phantom() || c.Phantom() {
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		if !active[i] {
+			continue
+		}
+		arow, crow := a.Row(i), c.Row(i)
+		if beta != 1 {
+			for j := range crow {
+				crow[j] *= beta
+			}
+		}
+		for k := 0; k < a.Cols; k++ {
+			aik := alpha * arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range crow {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// TrsmLowerLeft solves L*X = B in place (B becomes X) where L is unit or
+// non-unit lower triangular. This is the "FactorizeA01" kernel: columns of
+// the pivot-row panel are solved against L00.
+func TrsmLowerLeft(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
+	if l.Rows != l.Cols || l.Rows != b.Rows {
+		panic("blas: TrsmLowerLeft shape mismatch")
+	}
+	if l.Phantom() || b.Phantom() {
+		return
+	}
+	n := l.Rows
+	for i := 0; i < n; i++ {
+		bi := b.Row(i)
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			lik := li[k]
+			if lik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range bi {
+				bi[j] -= lik * bk[j]
+			}
+		}
+		if !unitDiag {
+			inv := 1 / li[i]
+			for j := range bi {
+				bi[j] *= inv
+			}
+		}
+	}
+}
+
+// TrsmUpperRight solves X*U = B in place (B becomes X) where U is upper
+// triangular (non-unit diagonal). This is the "FactorizeA10" kernel: rows of
+// the column panel are solved against U00.
+func TrsmUpperRight(u *mat.Matrix, b *mat.Matrix) {
+	if u.Rows != u.Cols || u.Cols != b.Cols {
+		panic("blas: TrsmUpperRight shape mismatch")
+	}
+	if u.Phantom() || b.Phantom() {
+		return
+	}
+	n := u.Cols
+	for i := 0; i < b.Rows; i++ {
+		bi := b.Row(i)
+		for j := 0; j < n; j++ {
+			s := bi[j]
+			for k := 0; k < j; k++ {
+				s -= bi[k] * u.At(k, j)
+			}
+			bi[j] = s / u.At(j, j)
+		}
+	}
+}
+
+// TrsmUpperRightMasked applies TrsmUpperRight only to rows with active[i].
+func TrsmUpperRightMasked(u *mat.Matrix, b *mat.Matrix, active []bool) {
+	if len(active) != b.Rows {
+		panic("blas: TrsmUpperRightMasked mask length mismatch")
+	}
+	if u.Phantom() || b.Phantom() {
+		return
+	}
+	n := u.Cols
+	if u.Rows != u.Cols || n != b.Cols {
+		panic("blas: TrsmUpperRightMasked shape mismatch")
+	}
+	for i := 0; i < b.Rows; i++ {
+		if !active[i] {
+			continue
+		}
+		bi := b.Row(i)
+		for j := 0; j < n; j++ {
+			s := bi[j]
+			for k := 0; k < j; k++ {
+				s -= bi[k] * u.At(k, j)
+			}
+			bi[j] = s / u.At(j, j)
+		}
+	}
+}
+
+// Ger computes A += alpha * x * yᵀ.
+func Ger(alpha float64, x, y []float64, a *mat.Matrix) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("blas: Ger shape mismatch")
+	}
+	if a.Phantom() {
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := alpha * x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j := range row {
+			row[j] += xi * y[j]
+		}
+	}
+}
+
+// Gemv computes y = alpha*A*x + beta*y.
+func Gemv(alpha float64, a *mat.Matrix, x []float64, beta float64, y []float64) {
+	if a.Cols != len(x) || a.Rows != len(y) {
+		panic("blas: Gemv shape mismatch")
+	}
+	if a.Phantom() {
+		return
+	}
+	for i := range y {
+		y[i] *= beta
+		y[i] += alpha * Dot(a.Row(i), x)
+	}
+}

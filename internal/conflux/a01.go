@@ -1,0 +1,231 @@
+package conflux
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/grid"
+	"repro/internal/mat"
+)
+
+// colLayout describes the tile columns tj > t owned by one grid column,
+// with their offsets in the concatenated A01 stack.
+type colLayout struct {
+	tjs    []int
+	offs   []int
+	widths []int
+	total  int
+}
+
+func (e *engine) colsAfter(y, t int) colLayout {
+	var cl colLayout
+	for _, tj := range e.bc.LocalTileCols(y, t+1) {
+		_, w := e.bc.TileDims(tj, tj)
+		cl.tjs = append(cl.tjs, tj)
+		cl.offs = append(cl.offs, cl.total)
+		cl.widths = append(cl.widths, w)
+		cl.total += w
+	}
+	return cl
+}
+
+// pivotGroups buckets this step's pivot rows by owning grid row, keeping the
+// factor order within each bucket. Every rank computes the same grouping.
+func (e *engine) pivotGroups() map[int][]int {
+	groups := map[int][]int{}
+	for _, r := range e.pivIDs {
+		gr := (r / e.opt.V) % e.g.Pr
+		groups[gr] = append(groups[gr], r)
+	}
+	return groups
+}
+
+// stackPivotSegments extracts the given pivot rows across the columns of cl
+// from the local store.
+func (e *engine) stackPivotSegments(rows []int, cl colLayout) *mat.Matrix {
+	stack := e.store.NewBuffer(len(rows), cl.total)
+	if !e.store.Payload() {
+		return stack
+	}
+	for i, r := range rows {
+		ti := r / e.opt.V
+		lr := r - ti*e.opt.V
+		for k, tj := range cl.tjs {
+			stack.View(i, cl.offs[k], 1, cl.widths[k]).
+				CopyFrom(e.store.Tile(ti, tj).View(lr, 0, 1, cl.widths[k]))
+		}
+	}
+	return stack
+}
+
+// writePivotSegments stores a stack of pivot-row segments back into tiles.
+func (e *engine) writePivotSegments(rows []int, cl colLayout, stack *mat.Matrix) {
+	if !e.store.Payload() {
+		return
+	}
+	for i, r := range rows {
+		ti := r / e.opt.V
+		lr := r - ti*e.opt.V
+		for k, tj := range cl.tjs {
+			e.store.Tile(ti, tj).View(lr, 0, 1, cl.widths[k]).
+				CopyFrom(stack.View(i, cl.offs[k], 1, cl.widths[k]))
+		}
+	}
+}
+
+// factorizeA01 implements Algorithm 1 steps 5/6/9/10 for the pivot-row
+// panel: reduce the w pivot rows across layers (step 5), assemble them per
+// grid column, solve L00·U01 = A01 (step 9), write the U values back to
+// their layer-0 owners, and broadcast the solved panel to the assigned
+// layer's consumer column (step 10).
+func (e *engine) factorizeA01(t int) {
+	e.ac.SetPhase(e.opt.Name + ".panel-a01")
+	e.a01, e.a01Tjs = nil, nil
+	w := len(e.pivIDs)
+	cl := e.colsAfter(e.col, t)
+	groups := e.pivotGroups()
+	lstar := t % e.g.Layers
+
+	// Step 5: fiber reduction of my grid row's pivot segments.
+	myRows := groups[e.row]
+	var reduced *mat.Matrix
+	if len(myRows) > 0 && cl.total > 0 {
+		stack := e.stackPivotSegments(myRows, cl)
+		e.fiber.ReduceMatSum(0, stack)
+		if e.layer == 0 {
+			reduced = stack
+		} else if e.store.Payload() {
+			e.writePivotSegments(myRows, cl, mat.New(len(myRows), cl.total))
+		}
+	}
+	if cl.total == 0 {
+		return
+	}
+
+	// Assemble the full w-row panel for my grid column at (0, y, 0).
+	asmRank := e.g.Rank(0, e.col, 0)
+	var asm *mat.Matrix
+	const gatherTag, backTag = 101, 102
+	if e.layer == 0 {
+		if e.world.Rank() == asmRank {
+			asm = e.store.NewBuffer(w, cl.total)
+			idx := indexOf(e.pivIDs)
+			for gr := 0; gr < e.g.Pr; gr++ {
+				rows := groups[gr]
+				if len(rows) == 0 {
+					continue
+				}
+				part := e.store.NewBuffer(len(rows), cl.total)
+				if e.g.Rank(gr, e.col, 0) == asmRank {
+					if reduced != nil {
+						part = reduced
+					}
+				} else {
+					e.ac.RecvMat(acIndex(e.g, gr, e.col, 0), gatherTag+gr, part)
+				}
+				if e.store.Payload() {
+					for i, r := range rows {
+						asm.View(idx[r], 0, 1, cl.total).CopyFrom(part.View(i, 0, 1, cl.total))
+					}
+				}
+			}
+			// Step 9: FactorizeA01 (triangular solve against unit L00).
+			blas.TrsmLowerLeft(e.a00, asm, true)
+			// Write the solved U rows back to their owners.
+			for gr := 0; gr < e.g.Pr; gr++ {
+				rows := groups[gr]
+				if len(rows) == 0 {
+					continue
+				}
+				part := e.store.NewBuffer(len(rows), cl.total)
+				if e.store.Payload() {
+					for i, r := range rows {
+						part.View(i, 0, 1, cl.total).CopyFrom(asm.View(idx[r], 0, 1, cl.total))
+					}
+				}
+				if e.g.Rank(gr, e.col, 0) == asmRank {
+					e.writePivotSegments(rows, cl, part)
+				} else {
+					e.ac.SendMat(acIndex(e.g, gr, e.col, 0), backTag+gr, part)
+				}
+			}
+		} else if len(myRows) > 0 {
+			e.ac.SendMat(acIndex(e.g, 0, e.col, 0), gatherTag+e.row, reduced)
+			back := e.store.NewBuffer(len(myRows), cl.total)
+			e.ac.RecvMat(acIndex(e.g, 0, e.col, 0), backTag+e.row, back)
+			e.writePivotSegments(myRows, cl, back)
+		}
+	}
+
+	// Step 10: broadcast the solved panel to the assigned layer's consumers.
+	members, rootIdx := a01Members(e.g, e.col, lstar)
+	if !contains(members, e.world.Rank()) {
+		return
+	}
+	comm := e.ac.Sub(fmt.Sprintf("a01.%d.%d", t, e.col), members)
+	buf := asm
+	if buf == nil {
+		buf = e.store.NewBuffer(w, cl.total)
+	}
+	comm.BcastMat(rootIdx, buf)
+	if e.layer == lstar {
+		e.a01, e.a01Tjs = buf, cl.tjs
+	}
+}
+
+// a01Members returns the broadcast group for grid column y: the assembling
+// rank (0, y, 0) plus the assigned layer's consumer column.
+func a01Members(g grid.Grid, y, lstar int) (members []int, rootIdx int) {
+	root := g.Rank(0, y, 0)
+	members = []int{root}
+	for x := 0; x < g.Pr; x++ {
+		r := g.Rank(x, y, lstar)
+		if r != root {
+			members = append(members, r)
+		}
+	}
+	return members, 0
+}
+
+// acIndex maps grid coordinates to the rank index within the active
+// communicator (identical to the world rank for active ranks, since the
+// active communicator lists world ranks 0..Used()-1 in order).
+func acIndex(g grid.Grid, row, col, layer int) int {
+	return g.Rank(row, col, layer)
+}
+
+// update implements step 11 (FactorizeA11): the assigned layer applies the
+// Schur-complement update to its accumulator tiles, masked to active rows.
+func (e *engine) update(t int) {
+	e.ac.SetPhase(e.opt.Name + ".update")
+	if e.layer != t%e.g.Layers || e.a01 == nil || e.a10 == nil || len(e.a10IDs) == 0 {
+		return
+	}
+	w := len(e.pivIDs)
+	cl := e.colsAfter(e.col, t)
+	idx := indexOf(e.a10IDs)
+	for _, ti := range e.bc.LocalTileRows(e.row, 0) {
+		h, _ := e.bc.TileDims(ti, ti)
+		tileL := e.store.NewBuffer(h, w)
+		any := false
+		for lr := 0; lr < h; lr++ {
+			r := ti*e.opt.V + lr
+			if r >= e.opt.N {
+				break
+			}
+			if i, ok := idx[r]; ok {
+				any = true
+				if e.store.Payload() {
+					tileL.View(lr, 0, 1, w).CopyFrom(e.a10.View(i, 0, 1, w))
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		for k, tj := range cl.tjs {
+			a01seg := e.a01.View(0, cl.offs[k], w, cl.widths[k])
+			blas.Gemm(-1, tileL, a01seg, 1, e.store.Tile(ti, tj))
+		}
+	}
+}

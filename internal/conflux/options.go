@@ -1,0 +1,76 @@
+// Package conflux implements COnfLUX (paper §7): a near communication
+// optimal parallel LU factorization derived from X-Partitioning. The matrix
+// is tiled with blocking parameter v and distributed block-cyclically over a
+// [Pr, Pc, c] grid (Fig. 5). Layer 0 holds the matrix; layers 1..c-1 hold
+// lazy Schur-update accumulators, so the true value of any element is the
+// sum across the fiber. Per step (Algorithm 1):
+//
+//  1. the next block column is reduced across layers,
+//  2. tournament pivoting over butterfly rounds selects v pivot rows
+//     (row MASKING: pivot rows never move, paper §7.3),
+//  3. the factored A00 and pivot indices are broadcast to all ranks,
+//  4. pivot rows are reduced across layers and triangular-solved into A01,
+//  5. the column panel is triangular-solved into A10,
+//  6. both panels are sent to the consumers of the step's assigned layer,
+//     which applies the Schur update into its accumulator.
+//
+// The per-rank I/O cost is N³/(P√M) + O(N²/P) elements (Lemma 10), a factor
+// 3/2 over the paper's §6 lower bound 2N³/(3P√M).
+package conflux
+
+import (
+	"math"
+
+	"repro/internal/costmodel"
+	"repro/internal/grid"
+)
+
+// Options configures a COnfLUX run.
+type Options struct {
+	Name string // phase-label prefix; defaults to "COnfLUX"
+	N    int    // global matrix dimension
+	V    int    // blocking parameter v (paper §7.2); v >= Layers required
+	Grid grid.Grid
+}
+
+// DefaultOptions mirrors the paper's setup: local memory M elements per
+// rank, replication c = min(PM/N², P^{1/3}), and the Processor Grid
+// Optimization of §8, which may disable a minor fraction of ranks. The
+// blocking parameter is v = a·c with a small constant a (paper §7.2),
+// floored at 4 for kernel efficiency.
+func DefaultOptions(n, p int, mem float64) Options {
+	maxC := grid.MaxReplication(p, mem, n)
+	g := grid.Optimize25D(p, maxC, 0.15, func(cand grid.Grid) float64 {
+		return gridModelCost(n, cand)
+	})
+	v := 2 * g.Layers
+	if v < 4 {
+		v = 4
+	}
+	if v > n {
+		v = n
+	}
+	return Options{Name: "COnfLUX", N: n, V: v, Grid: g}
+}
+
+// gridModelCost evaluates the COnfLUX per-rank cost model on a candidate
+// grid: panel distribution N²/√(P'·c) scaled by layer squareness, plus the
+// cross-layer reduction term (c−1)N²/P'.
+func gridModelCost(n int, g grid.Grid) float64 {
+	used := float64(g.Used())
+	nn := float64(n) * float64(n)
+	// Panel term: each consumer receives (N−tv)v/Pr + (N−tv)v/Pc per
+	// assigned step; summing over steps gives N²/(2c)·(1/Pr+1/Pc).
+	panel := nn / (2 * float64(g.Layers)) * (1/float64(g.Pr) + 1/float64(g.Pc))
+	reduce := float64(g.Layers-1) * nn / used
+	return panel + reduce
+}
+
+// ModelPerRankElements is the fitted cost model for THIS implementation
+// (see DESIGN.md §4): the paper's leading term plus the explicit cross-layer
+// reduction traffic that the paper folds into its lower-order terms.
+func ModelPerRankElements(p costmodel.Params) float64 {
+	n, pp := float64(p.N), float64(p.P)
+	c := p.Replication()
+	return n*n*n/(pp*math.Sqrt(p.M)) + (c-1)*n*n/pp + 2*n*n/pp
+}

@@ -1,0 +1,55 @@
+package conflux
+
+import (
+	"repro/internal/lapack"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+)
+
+// The tournament exchanges candidate sets: a block of up to w rows plus
+// their physical row IDs, metered at rows·w + len(IDs) elements per message
+// (the paper's "exchange v×v blocks" plus pivot indices).
+
+func lapackCandidates(stack *mat.Matrix, rows []int) lapack.Candidates {
+	if stack == nil {
+		return lapack.Candidates{Rows: mat.New(0, 0), IDs: nil}
+	}
+	return lapack.Candidates{Rows: stack, IDs: rows}
+}
+
+func selectCands(c lapack.Candidates, w int) (lapack.Candidates, error) {
+	if c.Rows.Rows == 0 {
+		return c, nil
+	}
+	return lapack.SelectCandidates(c, w)
+}
+
+func mergeCands(a, b lapack.Candidates) lapack.Candidates {
+	if a.Rows.Rows == 0 {
+		return b
+	}
+	if b.Rows.Rows == 0 {
+		return a
+	}
+	return lapack.MergeCandidates(a, b)
+}
+
+func factorA00(winners lapack.Candidates) (*mat.Matrix, []int, error) {
+	return lapack.FactorA00(winners)
+}
+
+func encodeCands(c lapack.Candidates, w int) smpi.Msg {
+	n := c.Rows.Rows*w + len(c.IDs)
+	return smpi.Msg{F: c.Rows.Pack(), I: append([]int(nil), c.IDs...), N: n}
+}
+
+func decodeCands(m smpi.Msg, w int) lapack.Candidates {
+	rows := len(m.I)
+	var block *mat.Matrix
+	if m.F != nil {
+		block = mat.FromSlice(rows, w, m.F)
+	} else {
+		block = mat.NewPhantom(rows, w)
+	}
+	return lapack.Candidates{Rows: block, IDs: m.I}
+}

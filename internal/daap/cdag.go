@@ -1,0 +1,121 @@
+package daap
+
+import "fmt"
+
+// CDAG is a concrete computational DAG (§2.3.1): vertices are element
+// VERSIONS (a vertex per update of an element), edges are data dependencies.
+type CDAG struct {
+	Names []string // vertex id -> label (debugging)
+	Preds [][]int  // vertex id -> direct predecessors
+	Succs [][]int  // vertex id -> direct successors
+	Input []bool   // vertex id -> is a graph input (no predecessors)
+}
+
+// NumVertices returns |V|.
+func (g *CDAG) NumVertices() int { return len(g.Preds) }
+
+// Outputs returns all vertices with no successors.
+func (g *CDAG) Outputs() []int {
+	var out []int
+	for v := range g.Succs {
+		if len(g.Succs[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// builder tracks the newest version of each element while emitting vertices.
+type builder struct {
+	g       CDAG
+	version map[string]int // element key -> current vertex id
+}
+
+func newBuilder() *builder { return &builder{version: map[string]int{}} }
+
+// vertexFor returns the current vertex of an element, creating an input
+// vertex if the element has never been written.
+func (b *builder) vertexFor(key string) int {
+	if v, ok := b.version[key]; ok {
+		return v
+	}
+	v := b.addVertex(key+"@0", nil)
+	b.g.Input[v] = true
+	b.version[key] = v
+	return v
+}
+
+// write creates a new version of an element computed from the given
+// predecessor vertices.
+func (b *builder) write(key string, preds []int) int {
+	name := fmt.Sprintf("%s@%d", key, len(b.g.Names))
+	v := b.addVertex(name, preds)
+	b.version[key] = v
+	return v
+}
+
+func (b *builder) addVertex(name string, preds []int) int {
+	v := len(b.g.Names)
+	b.g.Names = append(b.g.Names, name)
+	b.g.Preds = append(b.g.Preds, append([]int(nil), preds...))
+	b.g.Succs = append(b.g.Succs, nil)
+	b.g.Input = append(b.g.Input, false)
+	for _, p := range preds {
+		b.g.Succs[p] = append(b.g.Succs[p], v)
+	}
+	return v
+}
+
+func key2(arr string, i, j int) string { return fmt.Sprintf("%s[%d,%d]", arr, i, j) }
+
+// BuildLUCDAG constructs the concrete cDAG of the in-place LU factorization
+// of an n×n matrix (Fig. 1 right, Fig. 4): statement S1 vertices for each
+// (k, i) and S2 vertices for each (k, i, j).
+func BuildLUCDAG(n int) *CDAG {
+	b := newBuilder()
+	for k := 0; k < n; k++ {
+		akk := b.vertexFor(key2("A", k, k))
+		for i := k + 1; i < n; i++ {
+			// S1: A[i,k] = A[i,k] / A[k,k]
+			aik := b.vertexFor(key2("A", i, k))
+			b.write(key2("A", i, k), []int{aik, akk})
+		}
+		for i := k + 1; i < n; i++ {
+			lik := b.vertexFor(key2("A", i, k))
+			for j := k + 1; j < n; j++ {
+				// S2: A[i,j] = A[i,j] - A[i,k]*A[k,j]
+				aij := b.vertexFor(key2("A", i, j))
+				akj := b.vertexFor(key2("A", k, j))
+				b.write(key2("A", i, j), []int{aij, lik, akj})
+			}
+		}
+	}
+	return &b.g
+}
+
+// BuildMMMCDAG constructs the cDAG of C += A·B for n×n matrices
+// (n³ multiply-accumulate vertices chained along k).
+func BuildMMMCDAG(n int) *CDAG {
+	b := newBuilder()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				a := b.vertexFor(key2("A", i, k))
+				bb := b.vertexFor(key2("B", k, j))
+				c := b.vertexFor(key2("C", i, j))
+				b.write(key2("C", i, j), []int{c, a, bb})
+			}
+		}
+	}
+	return &b.g
+}
+
+// CountLUVertices returns the paper's §6 vertex counts for statements S1
+// and S2 of the LU cDAG: |V_S1| = N(N−1)/2 and |V_S2| = N³/3 − N²+ 2N/3.
+func CountLUVertices(n int) (s1, s2 int) {
+	s1 = n * (n - 1) / 2
+	for k := 0; k < n; k++ {
+		s2 += (n - k - 1) * (n - k - 1)
+	}
+	return s1, s2
+}

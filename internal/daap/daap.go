@@ -1,0 +1,267 @@
+// Package daap implements the paper's program representation (§2.2):
+// Disjoint Array Access Programs — sequences of statements enclosed in loop
+// nests, where each statement evaluates a function of m array inputs
+// addressed by injective access-function vectors and stores the result in an
+// output array. The package models statements symbolically (for the lower
+// bound machinery in internal/xpart) and concretely (building the cDAG of a
+// given problem size for internal/pebble).
+package daap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Access is one array reference A_j[φ_j(r)]: the array name plus the access
+// function vector, given as the indices of the iteration variables used in
+// each array dimension. Example: for iteration vector [k, i, j],
+// A[i,k] has Vars = [1, 0]; A[k,k] has Vars = [0, 0].
+type Access struct {
+	Array string
+	Vars  []int
+}
+
+// Dim returns dim(A_j(φ_j)) — the number of DISTINCT iteration variables in
+// the access function vector (§2.2 item 7): A[k,k] has access dimension 1.
+func (a Access) Dim() int {
+	seen := map[int]bool{}
+	for _, v := range a.Vars {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// DistinctVars returns the sorted distinct iteration-variable indices.
+func (a Access) DistinctVars() []int {
+	seen := map[int]bool{}
+	for _, v := range a.Vars {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Statement is one DAAP statement S: output access, input accesses, and the
+// loop nest depth (length of the iteration vector).
+type Statement struct {
+	Name   string
+	Depth  int
+	Output Access
+	Inputs []Access
+}
+
+// Validate checks the structural DAAP constraints: access vectors reference
+// valid iteration variables, and the disjoint access property holds at the
+// symbolic level (no two inputs with identical array and access vector).
+func (s Statement) Validate() error {
+	check := func(a Access) error {
+		if len(a.Vars) == 0 {
+			return fmt.Errorf("daap: %s: empty access vector for %s", s.Name, a.Array)
+		}
+		for _, v := range a.Vars {
+			if v < 0 || v >= s.Depth {
+				return fmt.Errorf("daap: %s: access %s references variable %d outside depth %d", s.Name, a.Array, v, s.Depth)
+			}
+		}
+		return nil
+	}
+	if err := check(s.Output); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, in := range s.Inputs {
+		if err := check(in); err != nil {
+			return err
+		}
+		key := fmt.Sprintf("%s%v", in.Array, in.Vars)
+		if seen[key] {
+			return fmt.Errorf("daap: %s: duplicate access %s (disjoint access property)", s.Name, key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// Program is a sequence of statements.
+type Program struct {
+	Name       string
+	Statements []Statement
+}
+
+// Validate validates every statement.
+func (p Program) Validate() error {
+	for _, s := range p.Statements {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SharedInputs returns array names read by more than one statement — the
+// input-overlap candidates of §4 Case I.
+func (p Program) SharedInputs() []string {
+	readers := map[string]map[int]bool{}
+	for si, s := range p.Statements {
+		for _, in := range s.Inputs {
+			if readers[in.Array] == nil {
+				readers[in.Array] = map[int]bool{}
+			}
+			readers[in.Array][si] = true
+		}
+	}
+	var out []string
+	for arr, rs := range readers {
+		if len(rs) > 1 {
+			out = append(out, arr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProducerConsumerPairs returns (producer, consumer) statement index pairs
+// where the producer's output array is a consumer's input — the
+// output-overlap case of §4 Case II.
+func (p Program) ProducerConsumerPairs() [][2]int {
+	var out [][2]int
+	for pi, prod := range p.Statements {
+		for ci, cons := range p.Statements {
+			if pi == ci {
+				continue
+			}
+			for _, in := range cons.Inputs {
+				if in.Array == prod.Output.Array {
+					out = append(out, [2]int{pi, ci})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LUProgram returns the two-statement LU factorization DAAP of Fig. 1:
+//
+//	for k = 1:N
+//	  S1 (i = k+1:N):          A[i,k] = A[i,k] / A[k,k]
+//	  S2 (i,j = k+1:N):        A[i,j] = A[i,j] - A[i,k]*A[k,j]
+//
+// Iteration variables are indexed k=0, i=1, j=2.
+func LUProgram() Program {
+	return Program{
+		Name: "LU",
+		Statements: []Statement{
+			{
+				Name:   "S1",
+				Depth:  2, // [k, i]
+				Output: Access{Array: "A", Vars: []int{1, 0}},
+				Inputs: []Access{
+					{Array: "A", Vars: []int{1, 0}}, // A[i,k]
+					{Array: "A", Vars: []int{0, 0}}, // A[k,k]
+				},
+			},
+			{
+				Name:   "S2",
+				Depth:  3, // [k, i, j]
+				Output: Access{Array: "A", Vars: []int{1, 2}},
+				Inputs: []Access{
+					{Array: "A", Vars: []int{1, 2}}, // A[i,j]
+					{Array: "A", Vars: []int{1, 0}}, // A[i,k]
+					{Array: "A", Vars: []int{0, 2}}, // A[k,j]
+				},
+			},
+		},
+	}
+}
+
+// MMMProgram returns the single-statement matrix multiplication DAAP
+// C[i,j] += A[i,k]*B[k,j] with variables i=0, j=1, k=2.
+func MMMProgram() Program {
+	return Program{
+		Name: "MMM",
+		Statements: []Statement{{
+			Name:   "S",
+			Depth:  3,
+			Output: Access{Array: "C", Vars: []int{0, 1}},
+			Inputs: []Access{
+				{Array: "A", Vars: []int{0, 2}},
+				{Array: "B", Vars: []int{2, 1}},
+				{Array: "C", Vars: []int{0, 1}},
+			},
+		}},
+	}
+}
+
+// FusedMMMProgram returns the §4.1 example: two multiplications sharing B.
+//
+//	S: D[i,j,k] = A[i,k] * B[k,j]
+//	T: E[i,j,k] = C[i,k] * B[k,j]
+func FusedMMMProgram() Program {
+	return Program{
+		Name: "FusedMMM",
+		Statements: []Statement{
+			{
+				Name:   "S",
+				Depth:  3,
+				Output: Access{Array: "D", Vars: []int{0, 1, 2}},
+				Inputs: []Access{
+					{Array: "A", Vars: []int{0, 2}},
+					{Array: "B", Vars: []int{2, 1}},
+				},
+			},
+			{
+				Name:   "T",
+				Depth:  3,
+				Output: Access{Array: "E", Vars: []int{0, 1, 2}},
+				Inputs: []Access{
+					{Array: "C", Vars: []int{0, 2}},
+					{Array: "B", Vars: []int{2, 1}},
+				},
+			},
+		},
+	}
+}
+
+// CholeskyProgram returns the three-statement right-looking Cholesky DAAP
+// (the kernel the paper's conclusion nominates for the same treatment):
+//
+//	S1: A[k,k] = sqrt(A[k,k])
+//	S2: A[i,k] = A[i,k] / A[k,k]        (i > k)
+//	S3: A[i,j] = A[i,j] - A[i,k]*A[j,k] (i >= j > k)
+func CholeskyProgram() Program {
+	return Program{
+		Name: "Cholesky",
+		Statements: []Statement{
+			{
+				Name:   "S1",
+				Depth:  1,
+				Output: Access{Array: "A", Vars: []int{0, 0}},
+				Inputs: []Access{{Array: "A", Vars: []int{0, 0}}},
+			},
+			{
+				Name:   "S2",
+				Depth:  2,
+				Output: Access{Array: "A", Vars: []int{1, 0}},
+				Inputs: []Access{
+					{Array: "A", Vars: []int{1, 0}},
+					{Array: "A", Vars: []int{0, 0}},
+				},
+			},
+			{
+				Name:   "S3",
+				Depth:  3,
+				Output: Access{Array: "A", Vars: []int{1, 2}},
+				Inputs: []Access{
+					{Array: "A", Vars: []int{1, 2}},
+					{Array: "A", Vars: []int{1, 0}},
+					{Array: "A", Vars: []int{2, 0}},
+				},
+			},
+		},
+	}
+}

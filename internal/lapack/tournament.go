@@ -1,0 +1,100 @@
+package lapack
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Candidates is a stack of pivot-candidate rows flowing through a tournament
+// round: Rows is the v-column data block, IDs are the global (physical) row
+// indices each stacked row came from. COnfLUX never swaps rows — winners are
+// identified by ID and masked out of future steps (paper §7.3).
+type Candidates struct {
+	Rows *mat.Matrix // m×v block of candidate rows
+	IDs  []int       // global row index of each stacked row
+}
+
+// SelectCandidates picks the (up to) v best pivot rows from the stack by LU
+// factorization with partial pivoting, mirroring the local step of
+// tournament pivoting (Grigori, Demmel, Xiang — CALU). It returns the
+// winning rows (in tournament order) with their IDs. The input is not
+// modified.
+func SelectCandidates(c Candidates, v int) (Candidates, error) {
+	m := c.Rows.Rows
+	if len(c.IDs) != m {
+		panic(fmt.Sprintf("lapack: SelectCandidates %d IDs for %d rows", len(c.IDs), m))
+	}
+	if v > c.Rows.Cols {
+		panic("lapack: SelectCandidates v exceeds block width")
+	}
+	take := min(v, m)
+	work := c.Rows.Clone()
+	ids := append([]int(nil), c.IDs...)
+	if work.Phantom() {
+		// Volume mode: no values to compare. Pick winners strided across the
+		// stack so that, as in the paper ("with high probability, pivots are
+		// evenly distributed among all processors"), winners spread over the
+		// contributing ranks instead of clustering at the front.
+		picked := make([]int, take)
+		for i := 0; i < take; i++ {
+			picked[i] = ids[i*m/take]
+		}
+		return Candidates{Rows: mat.NewPhantom(take, c.Rows.Cols), IDs: picked}, nil
+	}
+	piv := make([]int, min(take, work.Cols))
+	if err := Getrf2(work.View(0, 0, m, len(piv)), piv); err != nil {
+		return Candidates{}, err
+	}
+	for k, p := range piv {
+		ids[k], ids[p] = ids[p], ids[k]
+	}
+	// Winners are the first `take` rows of the pivoted ORIGINAL data.
+	perm := PivToPerm(piv, m)
+	out := mat.New(take, c.Rows.Cols)
+	for i := 0; i < take; i++ {
+		copy(out.Row(i), c.Rows.Row(perm[i]))
+	}
+	return Candidates{Rows: out, IDs: ids[:take]}, nil
+}
+
+// MergeCandidates stacks two candidate sets (a tournament "playoff" game).
+func MergeCandidates(a, b Candidates) Candidates {
+	if a.Rows.Cols != b.Rows.Cols {
+		panic("lapack: MergeCandidates width mismatch")
+	}
+	m := a.Rows.Rows + b.Rows.Rows
+	ids := make([]int, 0, m)
+	ids = append(ids, a.IDs...)
+	ids = append(ids, b.IDs...)
+	if a.Rows.Phantom() || b.Rows.Phantom() {
+		return Candidates{Rows: mat.NewPhantom(m, a.Rows.Cols), IDs: ids}
+	}
+	out := mat.New(m, a.Rows.Cols)
+	out.View(0, 0, a.Rows.Rows, a.Rows.Cols).CopyFrom(a.Rows)
+	out.View(a.Rows.Rows, 0, b.Rows.Rows, b.Rows.Cols).CopyFrom(b.Rows)
+	return Candidates{Rows: out, IDs: ids}
+}
+
+// FactorA00 runs the final LU (no pivoting needed beyond tournament order)
+// on the v×v winner block, producing the in-place L00\U00 factor used by the
+// A10/A01 triangular solves. Winner rows arrive in tournament order, which
+// is already a stable pivot order, but we still factor with partial
+// pivoting within the block for numerical safety and return the local
+// ordering applied to the IDs.
+func FactorA00(winners Candidates) (a00 *mat.Matrix, ids []int, err error) {
+	v := winners.Rows.Rows
+	if winners.Rows.Cols != v {
+		panic("lapack: FactorA00 expects a square winner block")
+	}
+	a00 = winners.Rows.Clone()
+	ids = append([]int(nil), winners.IDs...)
+	piv := make([]int, v)
+	if err := Getrf2(a00, piv); err != nil {
+		return nil, nil, err
+	}
+	for k, p := range piv {
+		ids[k], ids[p] = ids[p], ids[k]
+	}
+	return a00, ids, nil
+}

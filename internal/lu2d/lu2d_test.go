@@ -1,0 +1,230 @@
+package lu2d
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+const testTimeout = 60 * time.Second
+
+func factorNumeric(t *testing.T, n, p, nb int, seed uint64, opt func(n, p, nb int) Options) (*mat.Matrix, *Result, *trace.Report) {
+	t.Helper()
+	a := mat.RandomDiagDominant(n, seed)
+	var res *Result
+	rep, err := smpi.RunTimeout(p, true, testTimeout, func(c *smpi.Comm) error {
+		var in *mat.Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		r, err := Run(c, in, opt(n, p, nb))
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, res, rep
+}
+
+func TestNumericCorrectnessLibSci(t *testing.T) {
+	cases := []struct{ n, p, nb int }{
+		{16, 1, 4},
+		{16, 4, 4},
+		{32, 4, 8},
+		{48, 6, 8},  // 2x3 grid
+		{60, 4, 8},  // ragged edge tiles
+		{64, 16, 8}, // 4x4 grid
+		{33, 4, 5},  // everything ragged
+	}
+	for _, tc := range cases {
+		a, res, _ := factorNumeric(t, tc.n, tc.p, tc.nb, uint64(tc.n), LibSciOptions)
+		if r := testutil.ResidualLU(a, res.LU, res.Ipiv); r > 1e-12 {
+			t.Fatalf("n=%d p=%d nb=%d residual %v", tc.n, tc.p, tc.nb, r)
+		}
+	}
+}
+
+func TestNumericCorrectnessSLATE(t *testing.T) {
+	a, res, _ := factorNumeric(t, 48, 4, 16, 7, func(n, p, _ int) Options { return SLATEOptions(n, p) })
+	if r := testutil.ResidualLU(a, res.LU, res.Ipiv); r > 1e-12 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestPivotingOnNonDominantMatrix(t *testing.T) {
+	// General random matrices require real pivoting for stability.
+	n, p, nb := 40, 4, 8
+	a := mat.Random(n, n, 99)
+	var res *Result
+	_, err := smpi.RunTimeout(p, true, testTimeout, func(c *smpi.Comm) error {
+		var in *mat.Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		r, err := Run(c, in, LibSciOptions(n, p, nb))
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := testutil.ResidualLU(a, res.LU, res.Ipiv); r > 1e-11 {
+		t.Fatalf("residual %v", r)
+	}
+	// Pivots must form a valid interchange sequence: ipiv[k] >= k.
+	for k, pv := range res.Ipiv {
+		if pv < k || pv >= n {
+			t.Fatalf("ipiv[%d]=%d invalid", k, pv)
+		}
+	}
+}
+
+func TestMatchesSequentialFactorization(t *testing.T) {
+	// Same pivots and factors as the sequential reference (partial pivoting
+	// is deterministic given the data).
+	n, p, nb := 32, 4, 8
+	a, res, _ := factorNumeric(t, n, p, nb, 5, LibSciOptions)
+	ref, refPiv, err := testutil.ReferenceLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range refPiv {
+		if refPiv[k] != res.Ipiv[k] {
+			t.Fatalf("pivot %d: distributed %d vs reference %d", k, res.Ipiv[k], refPiv[k])
+		}
+	}
+	if d := mat.MaxAbsDiff(ref, res.LU); d > 1e-11 {
+		t.Fatalf("factor diff %v", d)
+	}
+}
+
+func runVolume(t *testing.T, n, p, nb int) *trace.Report {
+	t.Helper()
+	rep, err := smpi.RunTimeout(p, false, testTimeout, func(c *smpi.Comm) error {
+		_, err := Run(c, nil, LibSciOptions(n, p, nb))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestVolumeModeMatchesNumericMode(t *testing.T) {
+	// The harness measures volume mode; its byte counts must be close to a
+	// numeric run with realistic (well-scattered) pivots. Volume mode draws
+	// pseudo-random pivots, so compare against a general random matrix, not
+	// a diagonally dominant one whose pivots degenerate to the diagonal.
+	n, p, nb := 48, 4, 8
+	a := mat.Random(n, n, 3)
+	repN, err := smpi.RunTimeout(p, true, testTimeout, func(c *smpi.Comm) error {
+		var in *mat.Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		_, err := Run(c, in, LibSciOptions(n, p, nb))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repV := runVolume(t, n, p, nb)
+	nb1, vb := repN.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect), repV.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)
+	ratio := float64(vb) / float64(nb1)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("volume-mode %d vs numeric %d bytes (ratio %.3f)", vb, nb1, ratio)
+	}
+}
+
+func TestVolumeScalesAsModel(t *testing.T) {
+	// Per-rank volume should track N²/√P: quadrupling P at fixed N halves
+	// the per-rank volume, up to lower-order terms.
+	n, nb := 256, 16
+	rep4 := runVolume(t, n, 4, nb)
+	rep16 := runVolume(t, n, 16, nb)
+	v4 := float64(rep4.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)) / 4
+	v16 := float64(rep16.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)) / 16
+	ratio := v4 / v16
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("per-rank strong scaling ratio %.2f, want ≈2 (N²/√P law)", ratio)
+	}
+}
+
+func TestVolumeNearModelPrediction(t *testing.T) {
+	// Table 2 reproduction at test scale: measurement within a modest factor
+	// of the model (the paper reports 97–103% at large N/P; small N has
+	// proportionally larger lower-order terms).
+	n, p, nb := 256, 16, 16
+	rep := runVolume(t, n, p, nb)
+	meas := float64(rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect))
+	model := costmodel.TotalBytes(costmodel.LibSci, costmodel.MaxMemoryParams(n, p))
+	ratio := meas / model
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("measured %.0f vs model %.0f (ratio %.2f)", meas, model, ratio)
+	}
+}
+
+func TestSingularMatrixReported(t *testing.T) {
+	n, p := 16, 4
+	a := mat.New(n, n) // zero matrix
+	_, err := smpi.RunTimeout(p, true, testTimeout, func(c *smpi.Comm) error {
+		var in *mat.Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		_, err := Run(c, in, LibSciOptions(n, p, 4))
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestRingAndTreeBcastSameVolume(t *testing.T) {
+	n, p, nb := 64, 4, 8
+	repTree, err := smpi.RunTimeout(p, false, testTimeout, func(c *smpi.Comm) error {
+		_, err := Run(c, nil, LibSciOptions(n, p, nb))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRing, err := smpi.RunTimeout(p, false, testTimeout, func(c *smpi.Comm) error {
+		opt := LibSciOptions(n, p, nb)
+		opt.RingBcast = true
+		_, err := Run(c, nil, opt)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := repTree.ByPhase["LibSci.lpanel"] + repTree.ByPhase["LibSci.upanel"]
+	b := repRing.ByPhase["LibSci.lpanel"] + repRing.ByPhase["LibSci.upanel"]
+	if a != b {
+		t.Fatalf("tree %d != ring %d panel bytes", a, b)
+	}
+}
+
+func TestGridMustUseAllRanks(t *testing.T) {
+	// Rank panics are converted to run errors by the runtime.
+	_, err := smpi.RunTimeout(4, false, testTimeout, func(c *smpi.Comm) error {
+		opt := LibSciOptions(64, 4, 8)
+		opt.Grid = grid.Grid{Pr: 1, Pc: 3, Layers: 1, Total: 4}
+		_, err := Run(c, nil, opt)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected error for partial grid")
+	}
+}

@@ -1,0 +1,70 @@
+package mat
+
+// RNG is a small deterministic xorshift64* generator. The repository avoids
+// math/rand so that every test, example, and benchmark is reproducible
+// bit-for-bit across Go versions.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. Seed 0 is remapped to a fixed non-zero value.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mat: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Random fills an r×c matrix with uniform values in [-1, 1).
+func Random(rows, cols int, seed uint64) *Matrix {
+	g := NewRNG(seed)
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*g.Float64() - 1
+	}
+	return m
+}
+
+// RandomDiagDominant returns a random matrix with a boosted diagonal, so LU
+// with any reasonable pivoting is well conditioned.
+func RandomDiagDominant(n int, seed uint64) *Matrix {
+	m := Random(n, n, seed)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+// RandomPerm returns a uniformly random permutation of 0..n-1.
+func (r *RNG) RandomPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,229 @@
+// Package oocore demonstrates the SEQUENTIAL side of the paper's analysis
+// (§6 cites Olivry et al.'s 2N³/(3√M) bound, which the X-Partitioning
+// machinery reproduces): a blocked right-looking LU runs against a two-level
+// memory with an explicitly metered software cache of M elements, and the
+// measured load/store traffic is compared against the lower bound from
+// internal/xpart. With tile size b = √(M/3) the schedule's I/O is a small
+// constant over the bound — the sequential analogue of COnfLUX's 3/2 gap.
+package oocore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+)
+
+// ErrSingular mirrors lapack.ErrSingular for the unpivoted kernel.
+var ErrSingular = errors.New("oocore: zero pivot (matrix requires pivoting)")
+
+// Stats reports the metered traffic of one run, in ELEMENTS.
+type Stats struct {
+	Loads  int64
+	Stores int64
+	M      int // cache capacity in elements
+	B      int // tile size used
+}
+
+// Total returns loads + stores (the red-blue pebble game's Q).
+func (s Stats) Total() int64 { return s.Loads + s.Stores }
+
+// Cache is an LRU software cache of matrix tiles with dirty write-back.
+// Slow memory holds the authoritative matrix; Touch faults tiles in,
+// counting element transfers exactly as the red-blue pebble game counts
+// load/store moves.
+type Cache struct {
+	capacity int // elements
+	used     int
+	slow     *mat.Matrix
+	b        int
+	nt       int
+	entries  map[int]*list.Element
+	lru      *list.List
+	pinned   map[int]bool
+	stats    Stats
+}
+
+type entry struct {
+	id    int
+	tile  *mat.Matrix
+	dirty bool
+	size  int
+}
+
+// NewCache wraps the slow-memory matrix with an M-element cache of b×b
+// tiles.
+func NewCache(slow *mat.Matrix, m, b int) *Cache {
+	if slow.Rows != slow.Cols {
+		panic("oocore: square matrices only")
+	}
+	nt := (slow.Rows + b - 1) / b
+	return &Cache{
+		capacity: m, slow: slow, b: b, nt: nt,
+		entries: map[int]*list.Element{}, lru: list.New(), pinned: map[int]bool{},
+		stats: Stats{M: m, B: b},
+	}
+}
+
+func (c *Cache) tileID(ti, tj int) int { return ti*c.nt + tj }
+
+func (c *Cache) dims(ti, tj int) (int, int) {
+	r, co := c.b, c.b
+	if (ti+1)*c.b > c.slow.Rows {
+		r = c.slow.Rows - ti*c.b
+	}
+	if (tj+1)*c.b > c.slow.Cols {
+		co = c.slow.Cols - tj*c.b
+	}
+	return r, co
+}
+
+// Touch pins tile (ti,tj) into the cache (loading it if absent, evicting
+// LRU victims if needed) and returns it. markDirty declares the caller will
+// write it. Pinned tiles are never evicted until Unpin.
+func (c *Cache) Touch(ti, tj int, markDirty bool) *mat.Matrix {
+	id := c.tileID(ti, tj)
+	if el, ok := c.entries[id]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		e.dirty = e.dirty || markDirty
+		c.pinned[id] = true
+		return e.tile
+	}
+	r, co := c.dims(ti, tj)
+	size := r * co
+	for c.used+size > c.capacity {
+		if !c.evictOne() {
+			panic(fmt.Sprintf("oocore: cache of %d elements cannot hold working set (+%d needed)", c.capacity, size))
+		}
+	}
+	tile := mat.New(r, co)
+	tile.CopyFrom(c.slow.View(ti*c.b, tj*c.b, r, co))
+	c.stats.Loads += int64(size)
+	c.used += size
+	e := &entry{id: id, tile: tile, dirty: markDirty, size: size}
+	c.entries[id] = c.lru.PushFront(e)
+	c.pinned[id] = true
+	return tile
+}
+
+// Unpin releases the pins taken by Touch calls since the last Unpin.
+func (c *Cache) Unpin() { c.pinned = map[int]bool{} }
+
+func (c *Cache) evictOne() bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if c.pinned[e.id] {
+			continue
+		}
+		if e.dirty {
+			ti, tj := e.id/c.nt, e.id%c.nt
+			c.slow.View(ti*c.b, tj*c.b, e.tile.Rows, e.tile.Cols).CopyFrom(e.tile)
+			c.stats.Stores += int64(e.size)
+		}
+		c.used -= e.size
+		delete(c.entries, e.id)
+		c.lru.Remove(el)
+		return true
+	}
+	return false
+}
+
+// Flush writes all dirty tiles back (end of computation: outputs must carry
+// blue pebbles).
+func (c *Cache) Flush() {
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.dirty {
+			ti, tj := e.id/c.nt, e.id%c.nt
+			c.slow.View(ti*c.b, tj*c.b, e.tile.Rows, e.tile.Cols).CopyFrom(e.tile)
+			c.stats.Stores += int64(e.size)
+			e.dirty = false
+		}
+	}
+}
+
+// Stats returns the traffic so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DefaultTile returns the I/O-optimal tile size b = ⌊√(M/3)⌋ (three-tile
+// GEMM working set).
+func DefaultTile(m int) int {
+	b := int(math.Sqrt(float64(m) / 3))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// FactorizeOOC runs a blocked right-looking LU (no pivoting; intended for
+// diagonally dominant inputs — the I/O schedule, not numerics, is the
+// subject here) against an M-element cache and returns the metered traffic.
+// a is factored in place (combined L\U).
+func FactorizeOOC(a *mat.Matrix, m int) (Stats, error) {
+	b := DefaultTile(m)
+	return FactorizeOOCTile(a, m, b)
+}
+
+// FactorizeOOCTile is FactorizeOOC with an explicit tile size.
+func FactorizeOOCTile(a *mat.Matrix, m, b int) (Stats, error) {
+	c := NewCache(a, m, b)
+	nt := (a.Rows + b - 1) / b
+	for k := 0; k < nt; k++ {
+		// Factor diagonal tile (unpivoted).
+		diag := c.Touch(k, k, true)
+		if err := getf2NoPiv(diag); err != nil {
+			return c.Stats(), err
+		}
+		c.Unpin()
+		// Column panel: L(i,k) = A(i,k)·U00⁻¹.
+		for i := k + 1; i < nt; i++ {
+			diag := c.Touch(k, k, false)
+			t := c.Touch(i, k, true)
+			blas.TrsmUpperRight(diag, t)
+			c.Unpin()
+		}
+		// Row panel: U(k,j) = L00⁻¹·A(k,j).
+		for j := k + 1; j < nt; j++ {
+			diag := c.Touch(k, k, false)
+			t := c.Touch(k, j, true)
+			blas.TrsmLowerLeft(diag, t, true)
+			c.Unpin()
+		}
+		// Trailing update.
+		for i := k + 1; i < nt; i++ {
+			for j := k + 1; j < nt; j++ {
+				l := c.Touch(i, k, false)
+				u := c.Touch(k, j, false)
+				t := c.Touch(i, j, true)
+				blas.Gemm(-1, l, u, 1, t)
+				c.Unpin()
+			}
+		}
+	}
+	c.Flush()
+	return c.Stats(), nil
+}
+
+// getf2NoPiv factors a square tile in place without pivoting.
+func getf2NoPiv(a *mat.Matrix) error {
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		p := a.At(k, k)
+		if p == 0 {
+			return ErrSingular
+		}
+		inv := 1 / p
+		for i := k + 1; i < n; i++ {
+			lik := a.At(i, k) * inv
+			a.Set(i, k, lik)
+			for j := k + 1; j < n; j++ {
+				a.Add(i, j, -lik*a.At(k, j))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package oocore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+	"repro/internal/mat"
+	"repro/internal/xpart"
+)
+
+func residualNoPiv(orig, lu *mat.Matrix) float64 {
+	n := orig.Rows
+	l, u := mat.New(n, n), mat.New(n, n)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			if i > j {
+				l.Set(i, j, lu.At(i, j))
+			} else {
+				u.Set(i, j, lu.At(i, j))
+			}
+		}
+	}
+	prod := mat.New(n, n)
+	blas.Gemm(1, l, u, 0, prod)
+	return mat.MaxAbsDiff(orig, prod) / (mat.NormInf(orig)*float64(n) + 1)
+}
+
+func TestFactorizeOOCCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{32, 3 * 16 * 16}, // roomy
+		{48, 3 * 8 * 8},   // tight
+		{40, 4 * 100},     // ragged tiles
+	} {
+		a := mat.RandomDiagDominant(tc.n, uint64(tc.n))
+		orig := a.Clone()
+		stats, err := FactorizeOOC(a, tc.m)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if r := residualNoPiv(orig, a); r > 1e-11 {
+			t.Fatalf("%+v residual %v", tc, r)
+		}
+		if stats.Loads == 0 || stats.Stores == 0 {
+			t.Fatalf("%+v no traffic: %+v", tc, stats)
+		}
+	}
+}
+
+func TestIOAboveLowerBound(t *testing.T) {
+	n, m := 96, 3*16*16
+	a := mat.RandomDiagDominant(n, 5)
+	stats, err := FactorizeOOC(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower := xpart.LUSequentialLowerBound(n, float64(m))
+	if float64(stats.Total()) < lower {
+		t.Fatalf("measured %d below lower bound %.0f (unsound!)", stats.Total(), lower)
+	}
+	// And within a small constant of it — the point of the demonstration.
+	if ratio := float64(stats.Total()) / lower; ratio > 6 {
+		t.Fatalf("ratio %v vs lower bound — schedule far from optimal", ratio)
+	}
+}
+
+func TestMoreMemoryLessIO(t *testing.T) {
+	n := 64
+	a1 := mat.RandomDiagDominant(n, 9)
+	a2 := a1.Clone()
+	s1, err := FactorizeOOC(a1, 3*8*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FactorizeOOC(a2, 3*32*32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Total() >= s1.Total() {
+		t.Fatalf("more memory did not reduce IO: %d -> %d", s1.Total(), s2.Total())
+	}
+}
+
+func TestIOScalesAsInverseSqrtM(t *testing.T) {
+	// Q ~ 2N³/(3√M): quadrupling M should halve the leading traffic.
+	n := 128
+	a1 := mat.RandomDiagDominant(n, 2)
+	a2 := a1.Clone()
+	s1, err := FactorizeOOCTile(a1, 3*8*8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FactorizeOOCTile(a2, 3*16*16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(s1.Total()) / float64(s2.Total())
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Fatalf("IO ratio %v, want ≈2 (1/√M law)", ratio)
+	}
+}
+
+func TestCacheEvictionAndWriteback(t *testing.T) {
+	a := mat.Random(8, 8, 3)
+	orig := a.Clone()
+	c := NewCache(a, 2*16, 4) // room for exactly two 4x4 tiles
+	t00 := c.Touch(0, 0, true)
+	t00.Set(0, 0, 42)
+	c.Unpin()
+	c.Touch(0, 1, false)
+	c.Touch(1, 0, false) // evicts (0,0), must write back
+	c.Unpin()
+	if a.At(0, 0) != 42 {
+		t.Fatal("dirty tile not written back on eviction")
+	}
+	got := c.Touch(0, 0, false)
+	if got.At(0, 0) != 42 {
+		t.Fatal("reload lost data")
+	}
+	// Untouched region still original.
+	if a.At(7, 7) != orig.At(7, 7) {
+		t.Fatal("unrelated data corrupted")
+	}
+	st := c.Stats()
+	if st.Loads != 4*16 || st.Stores != 16 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheTooSmallPanics(t *testing.T) {
+	a := mat.Random(8, 8, 1)
+	c := NewCache(a, 16, 4) // one tile of 16 elements exactly
+	c.Touch(0, 0, false)    // pinned
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when pinned working set exceeds cache")
+		}
+	}()
+	c.Touch(0, 1, false)
+}
+
+func TestSingularReported(t *testing.T) {
+	a := mat.New(16, 16)
+	if _, err := FactorizeOOC(a, 3*64); err != ErrSingular {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultTile(t *testing.T) {
+	if b := DefaultTile(3 * 100); b != 10 {
+		t.Fatalf("b=%d want 10", b)
+	}
+	if b := DefaultTile(1); b != 1 {
+		t.Fatalf("b=%d want 1", b)
+	}
+}
+
+// Property: factorization is correct for random sizes/memories.
+func TestQuickOOCFactorization(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := mat.NewRNG(seed)
+		n := 8 + g.Intn(40)
+		b := 2 + g.Intn(6)
+		m := 4 * b * b
+		a := mat.RandomDiagDominant(n, seed)
+		orig := a.Clone()
+		if _, err := FactorizeOOCTile(a, m, b); err != nil {
+			return false
+		}
+		return residualNoPiv(orig, a) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

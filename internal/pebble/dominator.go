@@ -1,0 +1,201 @@
+package pebble
+
+import "repro/internal/daap"
+
+// MinSet returns Min(Vh): the vertices of the subset with no immediate
+// successor inside the subset (§2.3.2 — "a set of outputs of Vh").
+func MinSet(g *daap.CDAG, vh []int) []int {
+	in := toSet(vh)
+	var out []int
+	for _, v := range vh {
+		internal := false
+		for _, s := range g.Succs[v] {
+			if in[s] {
+				internal = true
+				break
+			}
+		}
+		if !internal {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsDominator reports whether dom intersects every path from a graph input
+// into vh (§2.3.2): with dom removed, no input may reach a vertex of vh.
+func IsDominator(g *daap.CDAG, vh, dom []int) bool {
+	blocked := toSet(dom)
+	target := toSet(vh)
+	// BFS from all inputs avoiding blocked vertices.
+	seen := make([]bool, g.NumVertices())
+	var queue []int
+	for v := range g.Preds {
+		if g.Input[v] && !blocked[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if target[v] {
+			return false
+		}
+		for _, s := range g.Succs[v] {
+			if !seen[s] && !blocked[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return true
+}
+
+// MinDominatorSize computes |Dom_min(Vh)| exactly as a minimum VERTEX cut
+// between the graph inputs and Vh, via vertex splitting and unit-capacity
+// max-flow (Menger). Exponential-free and exact; intended for the small
+// concrete cDAGs used in tests and examples.
+func MinDominatorSize(g *daap.CDAG, vh []int) int {
+	n := g.NumVertices()
+	target := toSet(vh)
+	// Node ids: v_in = 2v, v_out = 2v+1, source = 2n, sink = 2n+1.
+	src, snk := 2*n, 2*n+1
+	type edge struct{ to, rev, cap int }
+	adj := make([][]edge, 2*n+2)
+	addEdge := func(a, b, cap int) {
+		adj[a] = append(adj[a], edge{b, len(adj[b]), cap})
+		adj[b] = append(adj[b], edge{a, len(adj[a]) - 1, 0})
+	}
+	const inf = 1 << 30
+	for v := 0; v < n; v++ {
+		// Vertex capacity 1 — cutting a vertex costs one dominator member.
+		addEdge(2*v, 2*v+1, 1)
+		for _, s := range g.Succs[v] {
+			addEdge(2*v+1, 2*s, inf)
+		}
+		if g.Input[v] {
+			addEdge(src, 2*v, inf)
+		}
+		if target[v] {
+			addEdge(2*v+1, snk, inf)
+		}
+	}
+	// Dinic-free simple BFS augmenting (unit capacities keep this fast).
+	flow := 0
+	for {
+		parent := make([]int, len(adj))
+		parentEdge := make([]int, len(adj))
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && parent[snk] < 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for ei, e := range adj[v] {
+				if e.cap > 0 && parent[e.to] < 0 {
+					parent[e.to] = v
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[snk] < 0 {
+			break
+		}
+		// Augment by 1 (vertex capacities are 1 on every s-t path).
+		v := snk
+		for v != src {
+			p := v
+			v = parent[v]
+			e := &adj[v][parentEdge[p]]
+			e.cap--
+			adj[p][e.rev].cap++
+		}
+		flow++
+		if flow > n {
+			panic("pebble: flow exceeded vertex count")
+		}
+	}
+	return flow
+}
+
+// XPartitionValid checks the §2.3.3 conditions for a candidate X-partition:
+// subsets are disjoint, cover only non-input vertices at most once, have no
+// cyclic inter-subset dependencies, and satisfy |Dom_min| ≤ X and |Min| ≤ X.
+func XPartitionValid(g *daap.CDAG, parts [][]int, x int) bool {
+	seen := map[int]bool{}
+	for _, vh := range parts {
+		for _, v := range vh {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	// Acyclicity of the quotient graph.
+	partOf := map[int]int{}
+	for pi, vh := range parts {
+		for _, v := range vh {
+			partOf[v] = pi
+		}
+	}
+	q := make(map[int]map[int]bool)
+	for v := range g.Preds {
+		pv, ok := partOf[v]
+		if !ok {
+			continue
+		}
+		for _, s := range g.Succs[v] {
+			if ps, ok := partOf[s]; ok && ps != pv {
+				if q[pv] == nil {
+					q[pv] = map[int]bool{}
+				}
+				q[pv][ps] = true
+			}
+		}
+	}
+	if hasCycle(q, len(parts)) {
+		return false
+	}
+	for _, vh := range parts {
+		if MinDominatorSize(g, vh) > x || len(MinSet(g, vh)) > x {
+			return false
+		}
+	}
+	return true
+}
+
+func hasCycle(q map[int]map[int]bool, n int) bool {
+	state := make([]int, n) // 0 unvisited, 1 in stack, 2 done
+	var visit func(int) bool
+	visit = func(v int) bool {
+		state[v] = 1
+		for s := range q[v] {
+			if state[s] == 1 {
+				return true
+			}
+			if state[s] == 0 && visit(s) {
+				return true
+			}
+		}
+		state[v] = 2
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == 0 && visit(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func toSet(list []int) map[int]bool {
+	m := make(map[int]bool, len(list))
+	for _, v := range list {
+		m[v] = true
+	}
+	return m
+}

@@ -1,0 +1,141 @@
+// Package pebble implements the red-blue pebble game of Hong & Kung as used
+// by the paper (§2.3): move legality, schedule replay with I/O counting, a
+// greedy scheduler that produces valid schedules (I/O upper bounds), and the
+// dominator/minimum-set machinery behind X-Partitioning, including an exact
+// minimum-dominator computation via vertex min-cut for the small concrete
+// cDAGs built by internal/daap.
+package pebble
+
+import (
+	"fmt"
+
+	"repro/internal/daap"
+)
+
+// MoveKind enumerates the four legal moves (§2.3.1).
+type MoveKind int
+
+const (
+	Load MoveKind = iota + 1
+	Store
+	Compute
+	Discard
+)
+
+func (k MoveKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Compute:
+		return "compute"
+	case Discard:
+		return "discard"
+	}
+	return fmt.Sprintf("move(%d)", int(k))
+}
+
+// Move is one step of a pebbling schedule.
+type Move struct {
+	Kind   MoveKind
+	Vertex int
+}
+
+// State tracks a game in progress on a cDAG with M red pebbles.
+type State struct {
+	G    *daap.CDAG
+	M    int
+	Red  map[int]bool
+	Blue map[int]bool
+	IO   int // loads + stores so far
+}
+
+// NewState starts the game: blue pebbles on all inputs, no red pebbles.
+func NewState(g *daap.CDAG, m int) *State {
+	s := &State{G: g, M: m, Red: map[int]bool{}, Blue: map[int]bool{}}
+	for v := range g.Preds {
+		if g.Input[v] {
+			s.Blue[v] = true
+		}
+	}
+	return s
+}
+
+// Apply performs one move, returning an error if it is illegal.
+func (s *State) Apply(mv Move) error {
+	v := mv.Vertex
+	if v < 0 || v >= s.G.NumVertices() {
+		return fmt.Errorf("pebble: vertex %d out of range", v)
+	}
+	switch mv.Kind {
+	case Load:
+		if !s.Blue[v] {
+			return fmt.Errorf("pebble: load of %d without a blue pebble", v)
+		}
+		if !s.Red[v] {
+			if len(s.Red) >= s.M {
+				return fmt.Errorf("pebble: load of %d exceeds %d red pebbles", v, s.M)
+			}
+			s.Red[v] = true
+		}
+		s.IO++
+	case Store:
+		if !s.Red[v] {
+			return fmt.Errorf("pebble: store of %d without a red pebble", v)
+		}
+		s.Blue[v] = true
+		s.IO++
+	case Compute:
+		for _, p := range s.G.Preds[v] {
+			if !s.Red[p] {
+				return fmt.Errorf("pebble: compute of %d: predecessor %d not red", v, p)
+			}
+		}
+		if s.G.Input[v] {
+			return fmt.Errorf("pebble: compute of input vertex %d", v)
+		}
+		if !s.Red[v] {
+			if len(s.Red) >= s.M {
+				return fmt.Errorf("pebble: compute of %d exceeds %d red pebbles", v, s.M)
+			}
+			s.Red[v] = true
+		}
+	case Discard:
+		if s.Red[v] {
+			delete(s.Red, v)
+		} else if s.Blue[v] {
+			delete(s.Blue, v)
+		} else {
+			return fmt.Errorf("pebble: discard of unpebbled vertex %d", v)
+		}
+	default:
+		return fmt.Errorf("pebble: unknown move kind %v", mv.Kind)
+	}
+	return nil
+}
+
+// Done reports whether all outputs carry blue pebbles.
+func (s *State) Done() bool {
+	for _, v := range s.G.Outputs() {
+		if !s.Blue[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Replay validates a full schedule from the initial state and returns the
+// I/O count.
+func Replay(g *daap.CDAG, m int, schedule []Move) (int, error) {
+	s := NewState(g, m)
+	for i, mv := range schedule {
+		if err := s.Apply(mv); err != nil {
+			return s.IO, fmt.Errorf("move %d: %w", i, err)
+		}
+	}
+	if !s.Done() {
+		return s.IO, fmt.Errorf("pebble: schedule ends with unpebbled outputs")
+	}
+	return s.IO, nil
+}

@@ -1,0 +1,155 @@
+package pebble
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/daap"
+)
+
+// Greedy computes a valid schedule by processing vertices in topological
+// order, loading missing predecessors and evicting with a farthest-next-use
+// policy (Belady). The returned I/O count is an UPPER bound on the optimal
+// Q; together with the X-partitioning LOWER bound from internal/xpart it
+// brackets the true I/O complexity of small cDAGs.
+func Greedy(g *daap.CDAG, m int) ([]Move, int, error) {
+	order := topo(g)
+	// nextUse[v] holds the (sorted) schedule positions where v is consumed.
+	nextUse := make(map[int][]int)
+	pos := make([]int, g.NumVertices())
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := range g.Preds {
+		for _, p := range g.Preds[v] {
+			nextUse[p] = append(nextUse[p], pos[v])
+		}
+	}
+	for _, uses := range nextUse {
+		sort.Ints(uses)
+	}
+
+	s := NewState(g, m)
+	var schedule []Move
+	apply := func(mv Move) error {
+		if err := s.Apply(mv); err != nil {
+			return err
+		}
+		schedule = append(schedule, mv)
+		return nil
+	}
+	// evict frees one red slot, storing the victim first if its value is
+	// not yet safe in slow memory and still needed (or is an output).
+	evict := func(now int, keep map[int]bool) error {
+		victim, far := -1, -1
+		for v := range s.Red {
+			if keep[v] {
+				continue
+			}
+			nu := futureUse(nextUse[v], now)
+			if nu > far {
+				victim, far = v, nu
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("pebble: no evictable pebble (M=%d too small for a degree-%d vertex)", s.M, len(keep))
+		}
+		needsStore := !s.Blue[victim] && (futureUse(nextUse[victim], now) < int(^uint(0)>>1) || len(g.Succs[victim]) == 0)
+		if needsStore {
+			if err := apply(Move{Store, victim}); err != nil {
+				return err
+			}
+		}
+		return apply(Move{Discard, victim})
+	}
+
+	for i, v := range order {
+		if g.Input[v] {
+			continue // inputs are loaded on demand
+		}
+		keep := map[int]bool{v: true}
+		for _, p := range g.Preds[v] {
+			keep[p] = true
+		}
+		if len(keep) > s.M {
+			return nil, 0, fmt.Errorf("pebble: M=%d cannot hold %d operands", s.M, len(keep))
+		}
+		// Load missing predecessors.
+		for _, p := range g.Preds[v] {
+			if s.Red[p] {
+				continue
+			}
+			for len(s.Red) >= s.M {
+				if err := evict(i, keep); err != nil {
+					return nil, 0, err
+				}
+			}
+			if !s.Blue[p] {
+				return nil, 0, fmt.Errorf("pebble: predecessor %d neither red nor blue", p)
+			}
+			if err := apply(Move{Load, p}); err != nil {
+				return nil, 0, err
+			}
+		}
+		for len(s.Red) >= s.M && !s.Red[v] {
+			if err := evict(i, keep); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := apply(Move{Compute, v}); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Store remaining outputs.
+	for _, v := range g.Outputs() {
+		if s.Blue[v] {
+			continue
+		}
+		if !s.Red[v] {
+			return nil, 0, fmt.Errorf("pebble: output %d lost before store", v)
+		}
+		if err := apply(Move{Store, v}); err != nil {
+			return nil, 0, err
+		}
+	}
+	return schedule, s.IO, nil
+}
+
+func futureUse(uses []int, now int) int {
+	for _, u := range uses {
+		if u > now {
+			return u
+		}
+	}
+	return int(^uint(0) >> 1) // never used again
+}
+
+// topo returns a topological order of the cDAG.
+func topo(g *daap.CDAG) []int {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(g.Preds[v])
+	}
+	var queue, order []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, s := range g.Succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("pebble: cDAG has a cycle")
+	}
+	return order
+}

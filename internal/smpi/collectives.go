@@ -1,0 +1,228 @@
+package smpi
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// BcastMat broadcasts root's matrix to every rank (binomial tree, log₂(p)
+// rounds; total volume (p-1)·len, matching an MPI tree broadcast).
+func (c *Comm) BcastMat(root int, m *mat.Matrix) {
+	tag := c.nextCollTag()
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	r := (c.me - root + p) % p // rank relative to root
+	for mask := 1; mask < p; mask <<= 1 {
+		if r < mask {
+			if peer := r + mask; peer < p {
+				c.SendMat((peer+root)%p, tag, m)
+			}
+		} else if r < mask<<1 {
+			c.RecvMat((r-mask+root)%p, tag, m)
+		}
+	}
+}
+
+// BcastInts broadcasts root's int slice (binomial tree). Returns the slice
+// (receivers get the broadcast copy; root gets its own argument).
+func (c *Comm) BcastInts(root int, ids []int) []int {
+	tag := c.nextCollTag()
+	p := c.Size()
+	if p == 1 {
+		return ids
+	}
+	r := (c.me - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if r < mask {
+			if peer := r + mask; peer < p {
+				c.SendInts((peer+root)%p, tag, ids)
+			}
+		} else if r < mask<<1 {
+			ids = c.RecvInts((r-mask+root)%p, tag)
+		}
+	}
+	return ids
+}
+
+// ReduceMatSum element-wise sums every rank's matrix into root's matrix
+// (binomial tree; total volume (p-1)·len). Non-root contents are consumed.
+func (c *Comm) ReduceMatSum(root int, m *mat.Matrix) {
+	tag := c.nextCollTag()
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	r := (c.me - root + p) % p
+	tmp := m.Clone() // working accumulator; keeps caller's aliasing simple
+	recvBuf := mat.NewPhantom(m.Rows, m.Cols)
+	if c.w.Payload {
+		recvBuf = mat.New(m.Rows, m.Cols)
+	}
+	for mask := 1; mask < p; mask <<= 1 {
+		if r&mask != 0 {
+			c.SendMat(((r-mask)+root)%p, tag, tmp)
+			m.CopyFrom(tmp) // leave a defined value behind
+			return
+		}
+		if r+mask < p {
+			c.RecvMat(((r+mask)+root)%p, tag, recvBuf)
+			tmp.AddFrom(recvBuf)
+		}
+	}
+	m.CopyFrom(tmp)
+}
+
+// AllreduceMatSum combines ReduceMatSum and BcastMat (volume 2(p-1)·len).
+func (c *Comm) AllreduceMatSum(m *mat.Matrix) {
+	c.ReduceMatSum(0, m)
+	c.BcastMat(0, m)
+}
+
+// MaxLoc is a (value, location) pair for distributed pivot search.
+type MaxLoc struct {
+	Val float64
+	Loc int
+}
+
+// AllreduceMaxLoc returns the globally largest |Val| with its location,
+// using a butterfly (hypercube) exchange over ⌈log₂ p⌉ rounds with a
+// fold-in/fold-out step for non-power-of-two sizes (Rabenseifner-style,
+// the pattern the paper cites for tournament rounds).
+func (c *Comm) AllreduceMaxLoc(in MaxLoc) MaxLoc {
+	combine := func(a, b MaxLoc) MaxLoc {
+		// Loc < 0 marks "no candidate" (e.g. a rank owning no rows in the
+		// searched range) and never wins.
+		if a.Loc < 0 {
+			return b
+		}
+		if b.Loc < 0 {
+			return a
+		}
+		if abs(b.Val) > abs(a.Val) || (abs(b.Val) == abs(a.Val) && b.Loc < a.Loc) {
+			return b
+		}
+		return a
+	}
+	enc := func(m MaxLoc) Msg { return Msg{F: []float64{m.Val}, I: []int{m.Loc}, N: 2} }
+	dec := func(msg Msg) MaxLoc {
+		out := MaxLoc{Loc: msg.I[0]}
+		if msg.F != nil {
+			out.Val = msg.F[0]
+		}
+		return out
+	}
+	res := c.Butterfly(enc(in), func(mine, theirs Msg) Msg {
+		return enc(combine(dec(mine), dec(theirs)))
+	})
+	return dec(res)
+}
+
+// Butterfly runs a hypercube all-exchange: every rank ends with
+// combine(..) folded over all ranks' inputs. combine must be associative
+// and commutative. Non-power-of-two sizes fold the tail ranks into the
+// leading power-of-two block and fan the result back out.
+func (c *Comm) Butterfly(in Msg, combine func(mine, theirs Msg) Msg) Msg {
+	tag := c.nextCollTag()
+	p := c.Size()
+	pow2 := 1
+	for pow2<<1 <= p {
+		pow2 <<= 1
+	}
+	rem := p - pow2
+	cur := in
+	// Fold-in: tail ranks send to their mirror in the pow2 block.
+	if c.me >= pow2 {
+		c.Send(c.me-pow2, tag, cur)
+	} else if c.me < rem {
+		cur = combine(cur, c.Recv(c.me+pow2, tag))
+	}
+	if c.me < pow2 {
+		for mask := 1; mask < pow2; mask <<= 1 {
+			peer := c.me ^ mask
+			c.Send(peer, tag, cur)
+			cur = combine(cur, c.Recv(peer, tag))
+		}
+	}
+	// Fan-out to the folded tail.
+	if c.me < rem {
+		c.Send(c.me+pow2, tag, cur)
+	} else if c.me >= pow2 {
+		cur = c.Recv(c.me-pow2, tag)
+	}
+	return cur
+}
+
+// ScatterMats sends parts[i] from root to rank i (linear, as in MPI_Scatterv
+// for modest communicator sizes). Each rank passes its receive buffer; root
+// passes the full parts slice.
+func (c *Comm) ScatterMats(root int, parts []*mat.Matrix, recv *mat.Matrix) {
+	tag := c.nextCollTag()
+	if c.me == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("smpi: ScatterMats %d parts for %d ranks", len(parts), c.Size()))
+		}
+		for i, part := range parts {
+			if i == root {
+				recv.CopyFrom(part)
+				continue
+			}
+			c.SendMat(i, tag, part)
+		}
+		return
+	}
+	c.RecvMat(root, tag, recv)
+}
+
+// GatherMats collects each rank's matrix at root: root receives into
+// dst[i] for every i (dst ignored elsewhere).
+func (c *Comm) GatherMats(root int, send *mat.Matrix, dst []*mat.Matrix) {
+	tag := c.nextCollTag()
+	if c.me == root {
+		if len(dst) != c.Size() {
+			panic(fmt.Sprintf("smpi: GatherMats %d buffers for %d ranks", len(dst), c.Size()))
+		}
+		for i := range dst {
+			if i == root {
+				dst[i].CopyFrom(send)
+				continue
+			}
+			c.RecvMat(i, tag, dst[i])
+		}
+		return
+	}
+	c.SendMat(root, tag, send)
+}
+
+// AllgatherMats is a ring allgather: after p-1 rounds every rank holds every
+// rank's block in out[i] (out[me] is filled from send).
+func (c *Comm) AllgatherMats(send *mat.Matrix, out []*mat.Matrix) {
+	tag := c.nextCollTag()
+	p := c.Size()
+	if len(out) != p {
+		panic(fmt.Sprintf("smpi: AllgatherMats %d buffers for %d ranks", len(out), p))
+	}
+	out[c.me].CopyFrom(send)
+	next, prev := (c.me+1)%p, (c.me-1+p)%p
+	cur := c.me
+	for round := 0; round < p-1; round++ {
+		c.SendMat(next, tag+round, out[cur])
+		cur = (cur - 1 + p) % p
+		c.RecvMat(prev, tag+round, out[cur])
+	}
+}
+
+// Barrier synchronizes the communicator with zero metered volume (control
+// traffic is not data volume in the paper's accounting).
+func (c *Comm) Barrier() {
+	c.Butterfly(Msg{N: 0}, func(a, b Msg) Msg { return Msg{N: 0} })
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

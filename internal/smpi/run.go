@@ -1,0 +1,86 @@
+package smpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// RankFunc is the body executed by every rank of a simulated run.
+type RankFunc func(c *Comm) error
+
+// Run executes fn on p ranks (one goroutine each) and returns the
+// communication-volume report. The first rank error (or panic, converted to
+// an error) aborts the result; remaining ranks are still drained to avoid
+// goroutine leaks in the common all-ranks-fail-together cases.
+func Run(p int, payload bool, fn RankFunc) (*trace.Report, error) {
+	w := NewWorld(p, payload)
+	return RunWorld(w, fn)
+}
+
+// RunWorld is Run with a caller-configured world (fault injection, etc.).
+// The first failing rank aborts the world so that ranks blocked on receives
+// unwind instead of deadlocking; their secondary ErrAborted panics are
+// filtered out in favour of the originating error.
+func RunWorld(w *World, fn RankFunc) (*trace.Report, error) {
+	errs := make([]error, w.P)
+	var wg sync.WaitGroup
+	for r := 0; r < w.P; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
+						errs[rank] = ErrAborted
+					} else {
+						errs[rank] = fmt.Errorf("smpi: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+					}
+					w.Abort()
+					return
+				}
+				if errs[rank] != nil {
+					w.Abort()
+				}
+			}()
+			errs[rank] = fn(WorldComm(w, rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return w.Counter.Report(), err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return w.Counter.Report(), err
+		}
+	}
+	return w.Counter.Report(), nil
+}
+
+// RunTimeout is Run with a deadline; it fails rather than deadlocking when a
+// schedule bug leaves ranks blocked on Recv. Only for tests: the goroutines
+// of a timed-out run are abandoned.
+func RunTimeout(p int, payload bool, d time.Duration, fn RankFunc) (*trace.Report, error) {
+	type result struct {
+		rep *trace.Report
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rep, err := Run(p, payload, fn)
+		ch <- result{rep, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.rep, res.err
+	case <-time.After(d):
+		return nil, fmt.Errorf("smpi: run did not complete within %v (likely schedule deadlock)", d)
+	}
+}

@@ -1,0 +1,252 @@
+// Package smpi is a deterministic message-passing runtime that stands in for
+// MPI in the paper's experiments (see DESIGN.md §1). Ranks are goroutines;
+// messages are delivered through per-rank mailboxes; every send is metered
+// by internal/trace exactly once, attributed to the sending rank and to the
+// rank's current phase label.
+//
+// The runtime has two payload modes. In numeric mode messages carry real
+// float64 data. In volume mode (phantom payloads) messages carry only their
+// element counts — the schedule, the message pattern, and the metered bytes
+// are identical by construction, which is what lets the harness replay the
+// paper-scale runs (N = 16,384, P = 1,024) cheaply.
+package smpi
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mat"
+	"repro/internal/trace"
+)
+
+// World is one simulated machine: P ranks with private memories, a shared
+// byte counter, and an optional send-fault injector used by tests.
+type World struct {
+	P       int
+	Payload bool
+	Counter *trace.Counter
+
+	boxes   []*mailbox
+	aborted atomic.Bool
+
+	// FailSend, when non-nil, is consulted on every point-to-point delivery;
+	// a non-nil error makes the sending rank panic with it (the runner turns
+	// rank panics into run errors). Used for failure-injection tests.
+	FailSend func(from, to int, bytes int64) error
+}
+
+// NewWorld creates a world with p ranks. payload=false selects volume mode.
+func NewWorld(p int, payload bool) *World {
+	if p <= 0 {
+		panic("smpi: world size must be positive")
+	}
+	w := &World{P: p, Payload: payload, Counter: trace.NewCounter(p)}
+	w.boxes = make([]*mailbox, p)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Msg is the wire unit: an optional float64 payload, an optional int payload
+// (pivot indices and other metadata, carried in both modes), and N, the
+// metered element count (8 bytes each).
+type Msg struct {
+	F []float64
+	I []int
+	N int
+}
+
+type msgKey struct {
+	src  int
+	comm uint64
+	tag  int
+}
+
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[msgKey][]Msg
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{q: make(map[msgKey][]Msg)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(k msgKey, m Msg) {
+	mb.mu.Lock()
+	mb.q[k] = append(mb.q[k], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// ErrAborted is the panic value raised in ranks blocked on Recv when
+// another rank has failed; the runner filters it out in favour of the
+// originating error.
+var ErrAborted = errors.New("smpi: run aborted by another rank's failure")
+
+// Abort wakes every rank blocked on a receive; their pending takes panic
+// with ErrAborted. Called by the runner when any rank fails, so one rank's
+// error cannot deadlock the world.
+func (w *World) Abort() {
+	w.aborted.Store(true)
+	for _, mb := range w.boxes {
+		mb.cond.Broadcast()
+	}
+}
+
+func (mb *mailbox) take(w *World, k msgKey) Msg {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.q[k]) == 0 {
+		if w.aborted.Load() {
+			panic(ErrAborted)
+		}
+		mb.cond.Wait()
+	}
+	m := mb.q[k][0]
+	rest := mb.q[k][1:]
+	if len(rest) == 0 {
+		delete(mb.q, k)
+	} else {
+		mb.q[k] = rest
+	}
+	return m
+}
+
+// Comm is one rank's handle on a communicator (a subset of world ranks).
+// Ranks within the communicator are indexed 0..Size()-1 in member order.
+// A Comm value belongs to exactly one rank (one goroutine).
+type Comm struct {
+	w       *World
+	id      uint64
+	members []int // world ranks
+	me      int   // my index in members
+	phase   *string
+	opseq   int // collective sequence number, salts internal tags
+}
+
+// WorldComm returns rank r's handle on the all-ranks communicator.
+func WorldComm(w *World, r int) *Comm {
+	members := make([]int, w.P)
+	for i := range members {
+		members[i] = i
+	}
+	ph := "init"
+	return &Comm{w: w, id: commID("world", members), members: members, me: r, phase: &ph}
+}
+
+func commID(name string, members []int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s:%v", name, members)
+	return h.Sum64()
+}
+
+// Sub derives a named communicator from the given member list (world ranks,
+// order defines sub-ranks). The calling rank must be a member. Creation is
+// purely local: grids are deterministic, so no coordination is needed.
+func (c *Comm) Sub(name string, worldRanks []int) *Comm {
+	me := -1
+	for i, r := range worldRanks {
+		if r == c.WorldRank() {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("smpi: rank %d not in sub-communicator %q %v", c.WorldRank(), name, worldRanks))
+	}
+	return &Comm{
+		w:       c.w,
+		id:      commID(name, worldRanks),
+		members: append([]int(nil), worldRanks...),
+		me:      me,
+		phase:   c.phase,
+	}
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank returns this rank's index in the world.
+func (c *Comm) WorldRank() int { return c.members[c.me] }
+
+// Payload reports whether this world carries numeric payloads.
+func (c *Comm) Payload() bool { return c.w.Payload }
+
+// SetPhase labels subsequent traffic from this rank (shared across all Comms
+// derived from the same world rank).
+func (c *Comm) SetPhase(phase string) { *c.phase = phase }
+
+// Phase returns the current phase label.
+func (c *Comm) Phase() string { return *c.phase }
+
+// Send delivers msg to communicator rank `to` under `tag`. Zero-copy is
+// never assumed: callers pass freshly packed slices.
+func (c *Comm) Send(to, tag int, msg Msg) {
+	if to < 0 || to >= len(c.members) {
+		panic(fmt.Sprintf("smpi: Send to rank %d of %d", to, len(c.members)))
+	}
+	src, dst := c.WorldRank(), c.members[to]
+	bytes := int64(msg.N) * trace.BytesPerElement
+	if f := c.w.FailSend; f != nil {
+		if err := f(src, dst, bytes); err != nil {
+			panic(err)
+		}
+	}
+	if dst != src { // self-sends are memory moves, not network traffic
+		c.w.Counter.RecordSend(src, dst, bytes, *c.phase)
+	}
+	c.w.boxes[dst].put(msgKey{src: src, comm: c.id, tag: tag}, msg)
+}
+
+// Recv blocks until a message from communicator rank `from` under `tag`
+// arrives and returns it.
+func (c *Comm) Recv(from, tag int) Msg {
+	if from < 0 || from >= len(c.members) {
+		panic(fmt.Sprintf("smpi: Recv from rank %d of %d", from, len(c.members)))
+	}
+	return c.w.boxes[c.WorldRank()].take(c.w, msgKey{src: c.members[from], comm: c.id, tag: tag})
+}
+
+// SendMat sends a matrix (payload in numeric mode, count-only otherwise).
+func (c *Comm) SendMat(to, tag int, m *mat.Matrix) {
+	c.Send(to, tag, Msg{F: m.Pack(), N: m.Len()})
+}
+
+// RecvMat receives into dst (shape must match the metered count).
+func (c *Comm) RecvMat(from, tag int, dst *mat.Matrix) {
+	msg := c.Recv(from, tag)
+	if msg.N != dst.Len() {
+		panic(fmt.Sprintf("smpi: RecvMat expected %d elements, got %d", dst.Len(), msg.N))
+	}
+	dst.Unpack(msg.F)
+}
+
+// SendInts sends integer metadata (metered at 8 bytes per value).
+func (c *Comm) SendInts(to, tag int, ids []int) {
+	c.Send(to, tag, Msg{I: append([]int(nil), ids...), N: len(ids)})
+}
+
+// RecvInts receives integer metadata.
+func (c *Comm) RecvInts(from, tag int) []int {
+	return c.Recv(from, tag).I
+}
+
+const (
+	// Tag space layout: caller point-to-point tags must be < tagCollBase.
+	tagCollBase = 1 << 30
+)
+
+func (c *Comm) nextCollTag() int {
+	c.opseq++
+	return tagCollBase + c.opseq
+}

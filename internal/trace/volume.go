@@ -1,0 +1,168 @@
+// Package trace meters communication volume the way the paper measures it:
+// it "instruments the implementations … and counts the aggregate bytes sent
+// over the network" (paper §8, Score-P on Piz Daint). Every send performed
+// through internal/smpi is recorded here, attributed to the sending rank and
+// to the phase label active on its communicator.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// BytesPerElement is the element size used throughout (float64, as in the
+// paper: "the models are scaled by the element size (8 bytes)").
+const BytesPerElement = 8
+
+// Counter accumulates per-rank communication volume. It is safe for
+// concurrent use by all ranks of a simulated run.
+type Counter struct {
+	mu        sync.Mutex
+	p         int
+	sent      []int64
+	recv      []int64
+	msgs      []int64
+	byPhase   map[string]int64
+	phaseMsgs map[string]int64
+}
+
+// NewCounter creates a counter for p ranks.
+func NewCounter(p int) *Counter {
+	return &Counter{
+		p: p, sent: make([]int64, p), recv: make([]int64, p), msgs: make([]int64, p),
+		byPhase: map[string]int64{}, phaseMsgs: map[string]int64{},
+	}
+}
+
+// RecordSend attributes n bytes sent by rank from (received by rank to)
+// under the given phase label. Message counts serve as the latency proxy
+// for the pivoting-strategy ablation (§7.3: partial pivoting costs O(N)
+// latency, tournament pivoting O(N/v)).
+func (c *Counter) RecordSend(from, to int, bytes int64, phase string) {
+	c.mu.Lock()
+	c.sent[from] += bytes
+	c.recv[to] += bytes
+	c.msgs[from]++
+	c.byPhase[phase] += bytes
+	c.phaseMsgs[phase]++
+	c.mu.Unlock()
+}
+
+// Report snapshots the counter into an immutable report.
+func (c *Counter) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &Report{
+		P:       c.p,
+		Sent:    append([]int64(nil), c.sent...),
+		Recv:    append([]int64(nil), c.recv...),
+		Msgs:    append([]int64(nil), c.msgs...),
+		ByPhase: make(map[string]int64, len(c.byPhase)),
+	}
+	for k, v := range c.byPhase {
+		r.ByPhase[k] += v
+	}
+	r.PhaseMsgs = make(map[string]int64, len(c.phaseMsgs))
+	for k, v := range c.phaseMsgs {
+		r.PhaseMsgs[k] += v
+	}
+	return r
+}
+
+// Report is a snapshot of the communication volume of one run.
+type Report struct {
+	P         int
+	Sent      []int64 // bytes sent per rank
+	Recv      []int64 // bytes received per rank
+	Msgs      []int64 // messages sent per rank (latency proxy)
+	ByPhase   map[string]int64
+	PhaseMsgs map[string]int64
+}
+
+// TotalMsgs is the aggregate message count.
+func (r *Report) TotalMsgs() int64 {
+	var s int64
+	for _, v := range r.Msgs {
+		s += v
+	}
+	return s
+}
+
+// TotalBytes is the aggregate bytes sent over the network (the paper's
+// headline metric).
+func (r *Report) TotalBytes() int64 {
+	var s int64
+	for _, v := range r.Sent {
+		s += v
+	}
+	return s
+}
+
+// PerNodeBytes is the average bytes sent per rank (Fig. 6 y-axis:
+// "communication volume per node").
+func (r *Report) PerNodeBytes() float64 {
+	if r.P == 0 {
+		return 0
+	}
+	return float64(r.TotalBytes()) / float64(r.P)
+}
+
+// MaxRankBytes is the maximum bytes sent by any single rank — the critical
+// path of a bandwidth-bound run.
+func (r *Report) MaxRankBytes() int64 {
+	var m int64
+	for _, v := range r.Sent {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TotalGB returns TotalBytes in gigabytes (1e9, as in the paper's tables).
+func (r *Report) TotalGB() float64 { return float64(r.TotalBytes()) / 1e9 }
+
+// AlgorithmBytes returns TotalBytes minus the named housekeeping phases.
+// The paper "assume[s] that the input matrix A is already distributed in
+// the block cyclic layout imposed by the algorithm" (§7.4); the harness
+// therefore excludes the initial layout scatter and the final verification
+// gather, which it labels PhaseLayout and PhaseCollect.
+func (r *Report) AlgorithmBytes(excluded ...string) int64 {
+	s := r.TotalBytes()
+	for _, ph := range excluded {
+		s -= r.ByPhase[ph]
+	}
+	return s
+}
+
+// Standard housekeeping phase labels shared by the LU implementations.
+const (
+	PhaseLayout  = "layout"
+	PhaseCollect = "collect"
+)
+
+// Phases returns phase labels sorted by descending volume.
+func (r *Report) Phases() []string {
+	keys := make([]string, 0, len(r.ByPhase))
+	for k := range r.ByPhase {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if r.ByPhase[keys[i]] != r.ByPhase[keys[j]] {
+			return r.ByPhase[keys[i]] > r.ByPhase[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// String renders a short human-readable summary.
+func (r *Report) String() string {
+	s := fmt.Sprintf("P=%d total=%.3f GB per-node=%.3f MB max-rank=%.3f MB\n",
+		r.P, r.TotalGB(), r.PerNodeBytes()/1e6, float64(r.MaxRankBytes())/1e6)
+	for _, ph := range r.Phases() {
+		s += fmt.Sprintf("  %-24s %12.3f MB\n", ph, float64(r.ByPhase[ph])/1e6)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter(3)
+	c.RecordSend(0, 1, 100, "x")
+	c.RecordSend(1, 2, 50, "y")
+	c.RecordSend(0, 2, 25, "x")
+	r := c.Report()
+	if r.TotalBytes() != 175 {
+		t.Fatalf("total %d", r.TotalBytes())
+	}
+	if r.Sent[0] != 125 || r.Recv[2] != 75 {
+		t.Fatalf("per-rank: %v / %v", r.Sent, r.Recv)
+	}
+	if r.ByPhase["x"] != 125 || r.ByPhase["y"] != 50 {
+		t.Fatalf("phases: %v", r.ByPhase)
+	}
+	if r.MaxRankBytes() != 125 {
+		t.Fatalf("max %d", r.MaxRankBytes())
+	}
+	if got := r.PerNodeBytes(); got != 175.0/3 {
+		t.Fatalf("per-node %v", got)
+	}
+}
+
+func TestPhaseMessageCounts(t *testing.T) {
+	c := NewCounter(2)
+	c.RecordSend(0, 1, 10, "a")
+	c.RecordSend(0, 1, 10, "a")
+	c.RecordSend(1, 0, 10, "b")
+	r := c.Report()
+	if r.PhaseMsgs["a"] != 2 || r.PhaseMsgs["b"] != 1 {
+		t.Fatalf("phase msgs %v", r.PhaseMsgs)
+	}
+	if r.TotalMsgs() != 3 || r.Msgs[0] != 2 {
+		t.Fatalf("msgs %v", r.Msgs)
+	}
+}
+
+func TestReportIsSnapshot(t *testing.T) {
+	c := NewCounter(1)
+	c.RecordSend(0, 0, 10, "a")
+	r := c.Report()
+	c.RecordSend(0, 0, 10, "a")
+	if r.TotalBytes() != 10 {
+		t.Fatal("report mutated after snapshot")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCounter(8)
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.RecordSend(rank, (rank+1)%8, 1, "p")
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := c.Report().TotalBytes(); got != 8000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestPhasesSortedByVolume(t *testing.T) {
+	c := NewCounter(1)
+	c.RecordSend(0, 0, 5, "small")
+	c.RecordSend(0, 0, 500, "big")
+	c.RecordSend(0, 0, 50, "mid")
+	ph := c.Report().Phases()
+	if ph[0] != "big" || ph[1] != "mid" || ph[2] != "small" {
+		t.Fatalf("order: %v", ph)
+	}
+}
+
+func TestGBAndString(t *testing.T) {
+	c := NewCounter(2)
+	c.RecordSend(0, 1, 2_000_000_000, "bulk")
+	r := c.Report()
+	if r.TotalGB() != 2.0 {
+		t.Fatalf("GB %v", r.TotalGB())
+	}
+	s := r.String()
+	if !strings.Contains(s, "bulk") || !strings.Contains(s, "P=2") {
+		t.Fatalf("string: %q", s)
+	}
+}
