@@ -1,0 +1,35 @@
+# Local verify and CI run the exact same commands: .github/workflows/ci.yml
+# invokes these targets, so a green `make ci` locally means a green gate.
+
+GO ?= go
+
+.PHONY: all build test test-full vet fmt-check bench-smoke ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+# Fast gate: -short skips the exhaustive internal/xpart searches (~16s).
+test:
+	$(GO) test -race -short ./...
+
+# The full suite, including the exhaustive lower-bound searches.
+test-full:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Compile and run every benchmark once — catches rotted benchmark code
+# without paying for real measurements.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: fmt-check vet build test

@@ -3,6 +3,7 @@ package conflux
 import (
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -63,10 +64,9 @@ func TestSameVolumeEveryRun(t *testing.T) {
 func TestLinkFailureSurfacesAsError(t *testing.T) {
 	n, p := 64, 4
 	w := smpi.NewWorld(p, false)
-	var sent int64
+	var sent atomic.Int64 // FailSend runs concurrently on every rank
 	w.FailSend = func(from, to int, bytes int64) error {
-		sent += bytes
-		if sent > 50_000 {
+		if sent.Add(bytes) > 50_000 {
 			return errLinkDown
 		}
 		return nil

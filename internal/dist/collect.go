@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+	"repro/internal/trace"
+)
+
+// Collective tag space: one tag per tile, tag = ti·Tiles + tj. Tags stay far
+// below smpi's collective tag base as long as Tiles² < 2³⁰, i.e. for every
+// matrix the harness can represent; checkTileTags enforces it.
+func tileTag(bc grid.BlockCyclic, ti, tj int) int { return ti*bc.Tiles() + tj }
+
+func checkTileTags(bc grid.BlockCyclic) {
+	nt := bc.Tiles()
+	if nt*nt >= 1<<30 {
+		panic(fmt.Sprintf("dist: %d×%d tiles exhaust the point-to-point tag space", nt, nt))
+	}
+}
+
+// checkGrid guards against a caller passing a grid other than the one the
+// store's ownership map is built on — the mismatch would silently route
+// tiles to the wrong ranks and hang the collective.
+func checkGrid(g grid.Grid, s *Store) {
+	if g != s.bc.G {
+		panic(fmt.Sprintf("dist: collective grid %+v != store grid %+v", g, s.bc.G))
+	}
+}
+
+// Scatter distributes root's full matrix a into the block-cyclic stores of
+// the participating ranks: tile (ti, tj) goes to the rank at grid position
+// (OwnerRow(ti), OwnerCol(tj)) on the STORE's layer. It is a collective over
+// the root plus every rank of that layer; c must be the world communicator
+// (communicator ranks = grid ranks). a is consulted at root only and may be
+// nil or phantom — the sends then carry counts without payload, which is
+// exactly volume mode. Traffic is labeled trace.PhaseLayout so the harness
+// can exclude it from algorithm-attributed volume.
+func Scatter(c *smpi.Comm, root int, a *mat.Matrix, g grid.Grid, s *Store) {
+	checkGrid(g, s)
+	checkTileTags(s.bc)
+	prev := c.Phase()
+	defer c.SetPhase(prev) // only the collective's own traffic is "layout"
+	c.SetPhase(trace.PhaseLayout)
+	v, n, nt := s.bc.V, s.bc.N, s.bc.Tiles()
+	if c.Rank() == root {
+		if a != nil && (a.Rows != n || a.Cols != n) {
+			panic(fmt.Sprintf("dist: Scatter matrix %dx%d != global dimension %d", a.Rows, a.Cols, n))
+		}
+		for ti := 0; ti < nt; ti++ {
+			for tj := 0; tj < nt; tj++ {
+				r, w := s.bc.TileDims(ti, tj)
+				var src *mat.Matrix
+				if a != nil {
+					src = a.View(ti*v, tj*v, r, w)
+				} else {
+					src = mat.NewPhantom(r, w)
+				}
+				if owner := s.bc.Owner(ti, tj, s.layer); owner != root {
+					c.SendMat(owner, tileTag(s.bc, ti, tj), src)
+				} else {
+					s.Tile(ti, tj).CopyFrom(src) // local placement, not network traffic
+				}
+			}
+		}
+		return
+	}
+	s.eachOwnedTile(func(ti, tj int) {
+		c.RecvMat(root, tileTag(s.bc, ti, tj), s.Tile(ti, tj))
+	})
+}
+
+// Gather collects the stores' tiles back into dst at root — the inverse of
+// Scatter, with the same participation rule (root plus every rank of the
+// store's layer, on the world communicator). dst is consulted at root only;
+// nil (the non-root convention) or phantom dst still drains and meters every
+// message, so numeric and volume runs keep identical schedules. Traffic is
+// labeled trace.PhaseCollect.
+func Gather(c *smpi.Comm, root int, dst *mat.Matrix, g grid.Grid, s *Store) {
+	checkGrid(g, s)
+	checkTileTags(s.bc)
+	prev := c.Phase()
+	defer c.SetPhase(prev) // only the collective's own traffic is "collect"
+	c.SetPhase(trace.PhaseCollect)
+	v, n, nt := s.bc.V, s.bc.N, s.bc.Tiles()
+	if c.Rank() != root {
+		s.eachOwnedTile(func(ti, tj int) {
+			c.SendMat(root, tileTag(s.bc, ti, tj), s.Tile(ti, tj))
+		})
+		return
+	}
+	if dst != nil && (dst.Rows != n || dst.Cols != n) {
+		panic(fmt.Sprintf("dist: Gather matrix %dx%d != global dimension %d", dst.Rows, dst.Cols, n))
+	}
+	for ti := 0; ti < nt; ti++ {
+		for tj := 0; tj < nt; tj++ {
+			r, w := s.bc.TileDims(ti, tj)
+			var out *mat.Matrix
+			if dst != nil {
+				out = dst.View(ti*v, tj*v, r, w)
+			} else {
+				out = mat.NewPhantom(r, w)
+			}
+			if owner := s.bc.Owner(ti, tj, s.layer); owner != root {
+				c.RecvMat(owner, tileTag(s.bc, ti, tj), out)
+			} else {
+				out.CopyFrom(s.Tile(ti, tj))
+			}
+		}
+	}
+}

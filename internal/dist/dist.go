@@ -1,0 +1,97 @@
+// Package dist is the distributed-matrix store shared by all four LU/Cholesky
+// engines: each rank holds the tiles it owns under a block-cyclic ownership
+// map (grid.BlockCyclic), and the package's two collectives move tiles
+// between rank 0's full matrix and the owner ranks.
+//
+// The store sits between grid/smpi and the engines. It inherits the world's
+// payload mode: in numeric mode tiles carry real float64 data; in volume mode
+// tiles are phantom (dimensions only), so the store allocates no payload
+// memory while the collectives still meter the exact bytes the paper's
+// methodology counts (§8). Scatter traffic is labeled trace.PhaseLayout and
+// Gather traffic trace.PhaseCollect, which is how the harness excludes the
+// housekeeping phases from algorithm-attributed volume: the paper "assume[s]
+// that the input matrix A is already distributed in the block cyclic layout
+// imposed by the algorithm" (§7.4).
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mat"
+)
+
+// Store holds the tiles of one rank — grid position (row, col, layer) — under
+// the block-cyclic mapping bc. Tiles materialize lazily on first access, so a
+// store created on a non-zero replication layer starts as an all-zero
+// accumulator without touching memory it never uses. A Store belongs to one
+// rank (one goroutine) and is not safe for concurrent use.
+type Store struct {
+	bc              grid.BlockCyclic
+	row, col, layer int
+	payload         bool
+	tiles           map[int]*mat.Matrix
+}
+
+// NewStore creates the tile store for the rank at grid position (row, col,
+// layer). payload=false selects volume mode: every tile and buffer the store
+// hands out is phantom.
+func NewStore(bc grid.BlockCyclic, row, col, layer int, payload bool) *Store {
+	if row < 0 || row >= bc.G.Pr || col < 0 || col >= bc.G.Pc || layer < 0 || layer >= bc.G.Layers {
+		panic(fmt.Sprintf("dist: position (%d,%d,%d) outside %dx%dx%d grid", row, col, layer, bc.G.Pr, bc.G.Pc, bc.G.Layers))
+	}
+	return &Store{bc: bc, row: row, col: col, layer: layer, payload: payload, tiles: map[int]*mat.Matrix{}}
+}
+
+// Payload reports whether the store carries numeric data (false = phantom).
+func (s *Store) Payload() bool { return s.payload }
+
+// Owns reports whether this rank owns tile (ti, tj) under the cyclic map.
+func (s *Store) Owns(ti, tj int) bool {
+	return s.bc.OwnerRow(ti) == s.row && s.bc.OwnerCol(tj) == s.col
+}
+
+// Tile returns the local tile (ti, tj), allocating it zeroed (or phantom) on
+// first access. It panics if the tile is out of range or owned by another
+// rank — engines indexing a foreign tile is always a schedule bug.
+func (s *Store) Tile(ti, tj int) *mat.Matrix {
+	nt := s.bc.Tiles()
+	if ti < 0 || ti >= nt || tj < 0 || tj >= nt {
+		panic(fmt.Sprintf("dist: tile (%d,%d) outside %dx%d tile grid", ti, tj, nt, nt))
+	}
+	if !s.Owns(ti, tj) {
+		panic(fmt.Sprintf("dist: tile (%d,%d) belongs to grid position (%d,%d), not (%d,%d)",
+			ti, tj, s.bc.OwnerRow(ti), s.bc.OwnerCol(tj), s.row, s.col))
+	}
+	key := ti*nt + tj
+	t := s.tiles[key]
+	if t == nil {
+		t = s.NewBuffer(s.bc.TileDims(ti, tj))
+		s.tiles[key] = t
+	}
+	return t
+}
+
+// NewBuffer allocates a rows×cols scratch matrix in the store's payload mode
+// (numeric via mat.New, phantom via mat.NewPhantom). Engines use it for every
+// transient the communication layer touches, so numeric and volume runs share
+// one code path.
+func (s *Store) NewBuffer(rows, cols int) *mat.Matrix {
+	if s.payload {
+		return mat.New(rows, cols)
+	}
+	return mat.NewPhantom(rows, cols)
+}
+
+// Allocated returns the number of tiles materialized so far (test hook).
+func (s *Store) Allocated() int { return len(s.tiles) }
+
+// eachOwnedTile visits this rank's tiles in deterministic (ti, tj) ascending
+// order — the iteration order both collectives rely on.
+func (s *Store) eachOwnedTile(fn func(ti, tj int)) {
+	for _, ti := range s.bc.LocalTileRows(s.row, 0) {
+		for _, tj := range s.bc.LocalTileCols(s.col, 0) {
+			fn(ti, tj)
+		}
+	}
+}

@@ -74,6 +74,9 @@ func TestLUS2ClosedForm(t *testing.T) {
 
 // Full §6 pipeline vs the closed form 2N³−6N²+4N)/(3√M) + N(N−1)/2.
 func TestLUDerivedMatchesClosedForm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive §6 pipeline (~1.4s); run without -short")
+	}
 	for _, tc := range []struct {
 		n, p int
 		m    float64
@@ -90,6 +93,9 @@ func TestLUDerivedMatchesClosedForm(t *testing.T) {
 
 // §4.1 example: Q_S = Q_T = N³/M, Reuse(B) = N³/M, Q_tot = N³/M.
 func TestFusedMMMExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive reuse-bound search (~8s); run without -short")
+	}
 	n, m := 64, 32.0
 	nf := float64(n)
 	qs, qt, reuse, qtot := FusedMMMTotalBound(n, m)
@@ -108,6 +114,9 @@ func TestFusedMMMExample(t *testing.T) {
 // §4.2 example: dropping A's dominator term (ρ_S → ∞) gives Q = N³/M
 // instead of 2N³/√M.
 func TestModifiedMMMExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive output-reuse search (~1.3s); run without -short")
+	}
 	n, m := 64, 100.0
 	nf := float64(n)
 	got := ModifiedMMMBound(n, m)
@@ -123,6 +132,9 @@ func TestModifiedMMMExample(t *testing.T) {
 // ψ(X0) for the fused-MMM statement: X0 = 2M with B's access size = M
 // (K=1, I=J=M), reproducing the Reuse(B) pieces of §4.1.
 func TestFusedMMMAccessSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive access-size search (~2.6s); run without -short")
+	}
 	m := 50.0
 	prog := daap.FusedMMMProgram()
 	s := FromStatement(prog.Statements[0], nil, 1e6)
@@ -192,6 +204,9 @@ func TestLUSequentialMatchesOlivry(t *testing.T) {
 }
 
 func TestTensorContractionBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive contraction-bound search (~2.3s); run without -short")
+	}
 	// With K=L=√N the contraction is exactly MMM over a fused index of size
 	// N, so the bounds must coincide.
 	n, m := 64, 100.0
