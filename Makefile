@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full vet fmt-check bench-smoke ci
+.PHONY: all build test test-full vet fmt-check bench-smoke bench-json ci
 
 all: ci
 
@@ -31,5 +31,11 @@ fmt-check:
 # without paying for real measurements.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Machine-readable smoke measurement (bytes + simulated α-β time per
+# algorithm); CI uploads BENCH_smoke.json as an artifact so the perf
+# trajectory is recorded run over run.
+bench-json:
+	$(GO) run ./cmd/confluxbench -exp smoke -json BENCH_smoke.json
 
 ci: fmt-check vet build test

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cholesky"
 	"repro/internal/conflux"
 	"repro/internal/costmodel"
+	"repro/internal/lapack"
 	"repro/internal/lu25d"
 	"repro/internal/lu2d"
 	"repro/internal/mat"
@@ -36,8 +37,21 @@ import (
 // Matrix is a dense row-major float64 matrix (re-exported).
 type Matrix = mat.Matrix
 
-// VolumeReport is a communication-volume report (re-exported).
+// VolumeReport is a communication-volume report (re-exported). Its Time
+// field carries the simulated-time view of the same run (TimeReport).
 type VolumeReport = trace.Report
+
+// TimeReport is the α-β simulated-time report of a run: makespan, per-rank
+// busy/wait split, and critical-path phase attribution (re-exported).
+type TimeReport = trace.TimeReport
+
+// Machine is the α-β (latency–bandwidth) machine parameter set the
+// simulated clocks advance with (re-exported from internal/costmodel).
+type Machine = costmodel.Machine
+
+// DefaultMachine returns paper-scale interconnect parameters (Piz
+// Daint-class: ~1 µs latency, ~10 GB/s bandwidth).
+func DefaultMachine() Machine { return costmodel.DefaultMachine() }
 
 // NewMatrix allocates a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
@@ -68,6 +82,11 @@ type Options struct {
 	Algorithm Algorithm
 	// Timeout bounds the simulated run (default 10 minutes).
 	Timeout time.Duration
+	// Machine sets the α-β parameters of the simulated-time model. The
+	// zero value selects DefaultMachine() (paper-scale interconnect) —
+	// an all-free machine is therefore not expressible here; set one
+	// parameter nonzero (e.g. Alpha: 0, Beta: 1e-30) to isolate a term.
+	Machine Machine
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -83,6 +102,9 @@ func (o Options) withDefaults(n int) Options {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Minute
 	}
+	if o.Machine == (Machine{}) {
+		o.Machine = DefaultMachine()
+	}
 	return o
 }
 
@@ -93,8 +115,18 @@ type Result struct {
 	LU *Matrix
 	// Perm maps factor position -> original row index (A[Perm,:] = L·U).
 	Perm []int
-	// Volume is the communication-volume report of the run.
+	// Volume is the communication-volume report of the run; Volume.Time
+	// holds the full simulated-time detail.
 	Volume *VolumeReport
+	// Time is the simulated α-β makespan of the run in seconds: the final
+	// logical clock of the slowest rank, waits included. The simulation
+	// times algorithm communication only — computation is not modeled, and
+	// the layout/collect housekeeping phases are untimed, mirroring the
+	// AlgorithmBytes volume exclusion (§7.4).
+	Time float64
+	// CommTime is the critical rank's pure transfer time (α+β·bytes work,
+	// excluding waits): Time = CommTime + critical-rank wait.
+	CommTime float64
 }
 
 // Factorize runs a distributed LU factorization of a (n×n) on a simulated
@@ -106,7 +138,7 @@ func Factorize(a *Matrix, opts Options) (*Result, error) {
 	n := a.Rows
 	o := opts.withDefaults(n)
 	var out *Result
-	rep, err := smpi.RunTimeout(o.Ranks, true, o.Timeout, func(c *smpi.Comm) error {
+	rep, err := smpi.RunTimeoutMachine(o.Ranks, true, o.Machine, o.Timeout, func(c *smpi.Comm) error {
 		lu, perm, err := runAlgorithm(c, a, n, o)
 		if err != nil {
 			return err
@@ -123,6 +155,8 @@ func Factorize(a *Matrix, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("conflux: no result gathered at rank 0")
 	}
 	out.Volume = rep
+	out.Time = rep.Time.Makespan
+	out.CommTime = rep.Time.CritBusy()
 	return out, nil
 }
 
@@ -155,15 +189,7 @@ func runAlgorithm(c *smpi.Comm, a *Matrix, n int, o Options) (*Matrix, []int, er
 		if err != nil {
 			return nil, nil, err
 		}
-		// Convert LAPACK interchanges to an explicit permutation.
-		perm := make([]int, n)
-		for i := range perm {
-			perm[i] = i
-		}
-		for k, p := range res.Ipiv {
-			perm[k], perm[p] = perm[p], perm[k]
-		}
-		return res.LU, perm, nil
+		return res.LU, lapack.PermFromIpiv(res.Ipiv, n), nil
 	default:
 		return nil, nil, fmt.Errorf("conflux: unknown algorithm %q", o.Algorithm)
 	}
@@ -217,11 +243,18 @@ func (r *Result) SolveFactored(b []float64) ([]float64, error) {
 }
 
 // CommVolume replays the algorithm's communication schedule at (n, p) in
-// volume mode (no arithmetic, identical byte counts) and returns the report.
+// volume mode (no arithmetic, identical byte counts) and returns the report,
+// including the simulated α-β time under the default machine (rep.Time).
 // Memory defaults to the paper's maximum-replication setting.
 func CommVolume(algo Algorithm, n, p int, memory float64) (*VolumeReport, error) {
-	o := Options{Ranks: p, Memory: memory, Algorithm: algo}.withDefaults(n)
-	rep, err := smpi.RunTimeout(o.Ranks, false, o.Timeout, func(c *smpi.Comm) error {
+	return CommVolumeMachine(algo, n, p, memory, Machine{})
+}
+
+// CommVolumeMachine is CommVolume with explicit α-β machine parameters for
+// the simulated-time model (the zero Machine selects DefaultMachine).
+func CommVolumeMachine(algo Algorithm, n, p int, memory float64, m Machine) (*VolumeReport, error) {
+	o := Options{Ranks: p, Memory: memory, Algorithm: algo, Machine: m}.withDefaults(n)
+	rep, err := smpi.RunTimeoutMachine(o.Ranks, false, o.Machine, o.Timeout, func(c *smpi.Comm) error {
 		_, _, err := runAlgorithm(c, nil, n, o)
 		return err
 	})

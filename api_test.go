@@ -126,6 +126,42 @@ func TestCommVolumeOrdering(t *testing.T) {
 	}
 }
 
+func TestResultExposesSimulatedTime(t *testing.T) {
+	a := RandomMatrix(48, 5)
+	res, err := Factorize(a, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.CommTime <= 0 {
+		t.Fatalf("no simulated time: Time=%v CommTime=%v", res.Time, res.CommTime)
+	}
+	if res.CommTime > res.Time {
+		t.Fatalf("CommTime %v exceeds makespan %v", res.CommTime, res.Time)
+	}
+	if res.Volume.Time == nil || res.Volume.Time.Makespan != res.Time {
+		t.Fatal("Result.Time must mirror Volume.Time.Makespan")
+	}
+}
+
+func TestCommVolumeMachineScalesTime(t *testing.T) {
+	n, p := 128, 8
+	slow, err := CommVolumeMachine(COnfLUX, n, p, 0, Machine{Alpha: 1e-5, Beta: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := CommVolumeMachine(COnfLUX, n, p, 0, Machine{Alpha: 1e-7, Beta: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytes are machine-independent; time is not.
+	if slow.TotalBytes() != fast.TotalBytes() {
+		t.Fatalf("volume changed with machine: %d vs %d", slow.TotalBytes(), fast.TotalBytes())
+	}
+	if slow.Time.Makespan <= fast.Time.Makespan {
+		t.Fatalf("slower machine not slower: %v <= %v", slow.Time.Makespan, fast.Time.Makespan)
+	}
+}
+
 func TestLowerBoundsPositiveAndOrdered(t *testing.T) {
 	n, p, m := 4096, 64, 1e6
 	lu := LowerBoundLU(n, p, m)

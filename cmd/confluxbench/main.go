@@ -7,12 +7,17 @@
 //	-scale paper   the paper's N and P (N up to 16,384, P up to 1,024);
 //	               budget tens of minutes
 //
+// The simulated-time columns use the α-β machine model; -alpha and -beta
+// override the paper-scale defaults (≈1 µs, ≈10 GB/s).
+//
 // Examples:
 //
 //	confluxbench -exp table2 -scale paper
 //	confluxbench -exp fig6a -scale medium
 //	confluxbench -exp ablation
 //	confluxbench -exp all -scale small
+//	confluxbench -exp table2 -alpha 5e-6 -beta 2e-10
+//	confluxbench -exp smoke -json BENCH_smoke.json
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/costmodel"
 )
 
 type scale struct {
@@ -33,6 +39,7 @@ type scale struct {
 	fig7N, fig7P     []int
 	fig7Measured     int
 	ablN, ablP       int
+	smokeN, smokeP   int
 }
 
 var scales = map[string]scale{
@@ -42,6 +49,7 @@ var scales = map[string]scale{
 		fig6bBase: 64, fig6bP: []int{1, 8, 27, 64},
 		fig7N: []int{128, 256}, fig7P: []int{4, 16, 4096, 262144}, fig7Measured: 64,
 		ablN: 192, ablP: 8,
+		smokeN: 256, smokeP: 16,
 	},
 	"medium": {
 		table2N: []int{512, 1024}, table2P: []int{16, 64},
@@ -49,6 +57,7 @@ var scales = map[string]scale{
 		fig6bBase: 256, fig6bP: []int{1, 8, 27, 64},
 		fig7N: []int{512, 1024}, fig7P: []int{16, 64, 256, 4096, 65536}, fig7Measured: 256,
 		ablN: 512, ablP: 32,
+		smokeN: 1024, smokeP: 64,
 	},
 	"paper": {
 		table2N: []int{4096, 16384}, table2P: []int{64, 1024},
@@ -56,16 +65,21 @@ var scales = map[string]scale{
 		fig6bBase: 3200, fig6bP: []int{1, 8, 27, 64, 125, 216},
 		fig7N: []int{4096, 8192, 16384}, fig7P: []int{64, 256, 1024, 16384, 27648, 262144}, fig7Measured: 1024,
 		ablN: 4096, ablP: 64,
+		smokeN: 4096, smokeP: 64,
 	},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | all")
+	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | smoke | all")
 	sc := flag.String("scale", "small", "scale preset: small | medium | paper")
 	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
 	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	alpha := flag.Float64("alpha", bench.Machine.Alpha, "α: per-message latency of the simulated machine (seconds)")
+	beta := flag.Float64("beta", bench.Machine.Beta, "β: per-byte transfer cost of the simulated machine (seconds/byte)")
+	jsonOut := flag.String("json", "", "with -exp smoke: write the machine-readable record to this path")
 	flag.Parse()
+	bench.Machine = costmodel.Machine{Alpha: *alpha, Beta: *beta}
 	writeCSV := func(name string, f func(w *os.File) error) {
 		if *csvDir == "" {
 			return
@@ -160,6 +174,27 @@ func main() {
 			return err
 		}
 		bench.RenderAblation(os.Stdout, ab)
+		return nil
+	})
+	run("smoke", func(s scale) error {
+		res, err := bench.RunSmoke(s.smokeN, s.smokeP)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if *jsonOut != "" {
+			fh, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			if err := res.WriteJSON(fh); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 		return nil
 	})
 	run("sweep", func(s scale) error {

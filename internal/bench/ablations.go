@@ -22,11 +22,27 @@ type AblationResult struct {
 	BBytes int64
 	AMsgs  int64
 	BMsgs  int64
-	Note   string
+	// ATime/BTime are simulated α-β seconds: the full-run makespan, except
+	// in the pivoting ablation where they are the pivoting phase's own
+	// critical path (the largest per-rank busy time in that phase) — the
+	// §7.3 latency argument as actual modeled time rather than a raw
+	// message count.
+	ATime float64
+	BTime float64
+	Note  string
 }
 
 // Ratio returns BBytes/ABytes.
 func (a AblationResult) Ratio() float64 { return float64(a.BBytes) / float64(a.ABytes) }
+
+// TimeRatio returns BTime/ATime (0 when the A side recorded no timed
+// traffic, rather than an infinite or NaN ratio).
+func (a AblationResult) TimeRatio() float64 {
+	if a.ATime == 0 {
+		return 0
+	}
+	return a.BTime / a.ATime
+}
 
 // MaskingVsSwapping runs COnfLUX (row masking) and the CANDMC-style engine
 // (physical row swapping) on an IDENTICAL grid and block size, isolating the
@@ -42,14 +58,14 @@ func MaskingVsSwapping(n, p int, mem float64) (AblationResult, error) {
 	if v < 4 {
 		v = 4
 	}
-	repA, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+	repA, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, conflux.Options{N: n, V: v, Grid: g})
 		return err
 	})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	repB, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+	repB, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 		_, err := lu25d.Run(cm, nil, lu25d.Options{N: n, V: v, Grid: g})
 		return err
 	})
@@ -64,24 +80,27 @@ func MaskingVsSwapping(n, p int, mem float64) (AblationResult, error) {
 		BBytes: repB.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
 		AMsgs:  repA.TotalMsgs(),
 		BMsgs:  repB.TotalMsgs(),
+		ATime:  repA.Time.Makespan,
+		BTime:  repB.Time.Makespan,
 		Note:   fmt.Sprintf("same %dx%dx%d grid, v=%d; paper §7.3: swapping adds ~1x leading term", g.Pr, g.Pc, g.Layers, v),
 	}, nil
 }
 
-// TournamentVsPartialPivoting compares pivoting-phase MESSAGE counts
-// (latency proxy) between COnfLUX's tournament pivoting and the 2D
-// engine's per-column partial pivoting: O(N/v · log P) vs O(N · log P)
-// rounds (§7.3).
+// TournamentVsPartialPivoting compares the pivoting phases of COnfLUX's
+// tournament pivoting and the 2D engine's per-column partial pivoting —
+// O(N/v · log P) vs O(N · log P) rounds (§7.3) — both as message counts and
+// as simulated α-β time on the critical rank, turning the paper's latency
+// argument into modeled seconds.
 func TournamentVsPartialPivoting(n, p int, mem float64) (AblationResult, error) {
 	optC := conflux.DefaultOptions(n, p, mem)
-	repA, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+	repA, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, optC)
 		return err
 	})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	repB, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+	repB, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 		_, err := lu2d.Run(cm, nil, lu2d.LibSciOptions(n, p, LibSciNB))
 		return err
 	})
@@ -96,6 +115,8 @@ func TournamentVsPartialPivoting(n, p int, mem float64) (AblationResult, error) 
 		BBytes: repB.ByPhase["LibSci.panel"],
 		AMsgs:  repA.PhaseMsgs["COnfLUX.pivot"],
 		BMsgs:  repB.PhaseMsgs["LibSci.panel"],
+		ATime:  repA.Time.PhaseBusyMax["COnfLUX.pivot"],
+		BTime:  repB.Time.PhaseBusyMax["LibSci.panel"],
 		Note:   "pivoting phases only; §7.3: tournament needs O(N/v) rounds vs O(N) for partial pivoting",
 	}, nil
 }
@@ -105,7 +126,7 @@ func TournamentVsPartialPivoting(n, p int, mem float64) (AblationResult, error) 
 // Fig. 6a inset effect.
 func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
 	optOn := conflux.DefaultOptions(n, p, mem)
-	repA, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+	repA, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, optOn)
 		return err
 	})
@@ -116,7 +137,7 @@ func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
 	// the 2D libraries do.
 	g := grid.Square2D(p)
 	v := optOn.V
-	repB, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+	repB, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, conflux.Options{N: n, V: v, Grid: g})
 		return err
 	})
@@ -131,6 +152,8 @@ func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
 		BBytes: repB.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
 		AMsgs:  repA.TotalMsgs(),
 		BMsgs:  repB.TotalMsgs(),
+		ATime:  repA.Time.Makespan,
+		BTime:  repB.Time.Makespan,
 		Note:   "paper §8: greedy grids cause the Fig. 6a outliers for difficult rank counts",
 	}, nil
 }
@@ -146,7 +169,7 @@ func BlockSizeSweep(n, p int, mem float64, vs []int) ([]Measurement, error) {
 		}
 		opt := base
 		opt.V = v
-		rep, err := smpi.RunTimeout(p, false, Timeout, func(cm *smpi.Comm) error {
+		rep, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
 			_, err := conflux.Run(cm, nil, opt)
 			return err
 		})
@@ -157,6 +180,8 @@ func BlockSizeSweep(n, p int, mem float64, vs []int) ([]Measurement, error) {
 			Algo: costmodel.COnfLUX, N: n, P: p, M: mem,
 			MeasuredBytes: rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect),
 			Msgs:          rep.TotalMsgs(),
+			MaxRankMsgs:   rep.Time.MaxRankMsgs(),
+			SimTime:       rep.Time.Makespan,
 			GridDesc:      fmt.Sprintf("v=%d %s", v, describe(opt.Grid)),
 		})
 	}
@@ -170,7 +195,7 @@ func describe(g grid.Grid) string {
 // RenderAblation writes one comparison.
 func RenderAblation(w io.Writer, a AblationResult) {
 	fmt.Fprintf(w, "Ablation: %s\n", a.Name)
-	fmt.Fprintf(w, "  A: %-50s %12d bytes %10d msgs\n", a.A, a.ABytes, a.AMsgs)
-	fmt.Fprintf(w, "  B: %-50s %12d bytes %10d msgs\n", a.B, a.BBytes, a.BMsgs)
-	fmt.Fprintf(w, "  B/A volume ratio: %.2fx   (%s)\n", a.Ratio(), a.Note)
+	fmt.Fprintf(w, "  A: %-50s %12d bytes %10d msgs %12.6f s\n", a.A, a.ABytes, a.AMsgs, a.ATime)
+	fmt.Fprintf(w, "  B: %-50s %12d bytes %10d msgs %12.6f s\n", a.B, a.BBytes, a.BMsgs, a.BTime)
+	fmt.Fprintf(w, "  B/A volume ratio: %.2fx  time ratio: %.2fx   (%s)\n", a.Ratio(), a.TimeRatio(), a.Note)
 }

@@ -27,7 +27,14 @@ type Measurement struct {
 	ModeledBytes  float64 // Table 2 model (paper's published models)
 	FittedBytes   float64 // this implementation's fitted model (COnfLUX only)
 	Msgs          int64
-	GridDesc      string
+	// MaxRankMsgs is the latency-critical path: the largest number of
+	// messages any rank injects in timed (algorithm) phases — the
+	// layout/collect housekeeping is excluded, matching MeasuredBytes
+	// and the simulated clocks.
+	MaxRankMsgs int64
+	SimTime     float64 // simulated α-β makespan of the run, seconds
+	PredTime    float64 // α-β prediction from the Table 2 volume model
+	GridDesc    string
 }
 
 // MeasuredGB returns the measured volume in GB (Table 2 units).
@@ -52,6 +59,10 @@ func (m Measurement) PerNodeBytes() float64 {
 // Timeout bounds a single volume-mode run; paper-scale points take minutes.
 var Timeout = 30 * time.Minute
 
+// Machine is the α-β machine the harness simulates time against
+// (cmd/confluxbench overrides it from -alpha/-beta).
+var Machine = costmodel.DefaultMachine()
+
 // LibSciNB is the "user-specified" ScaLAPACK block size used throughout the
 // harness (Table 2 lists LibSci's block size as a user parameter).
 const LibSciNB = 32
@@ -70,21 +81,21 @@ func Measure(algo costmodel.Algorithm, n, p int, mem float64) (Measurement, erro
 	case costmodel.LibSci:
 		opt := lu2d.LibSciOptions(n, p, LibSciNB)
 		gridDesc = fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc)
-		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
 			_, err := lu2d.Run(c, nil, opt)
 			return err
 		})
 	case costmodel.SLATE:
 		opt := lu2d.SLATEOptions(n, p)
 		gridDesc = fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc)
-		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
 			_, err := lu2d.Run(c, nil, opt)
 			return err
 		})
 	case costmodel.CANDMC:
 		opt := lu25d.CANDMCOptions(n, p, mem)
 		gridDesc = fmt.Sprintf("%dx%dx%d", opt.Grid.Pr, opt.Grid.Pc, opt.Grid.Layers)
-		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
 			_, err := lu25d.Run(c, nil, opt)
 			return err
 		})
@@ -92,7 +103,7 @@ func Measure(algo costmodel.Algorithm, n, p int, mem float64) (Measurement, erro
 		opt := conflux.DefaultOptions(n, p, mem)
 		gridDesc = fmt.Sprintf("%dx%dx%d (%d used)", opt.Grid.Pr, opt.Grid.Pc, opt.Grid.Layers, opt.Grid.Used())
 		out.FittedBytes = conflux.ModelPerRankElements(params) * float64(p) * trace.BytesPerElement
-		rep, err = smpi.RunTimeout(p, false, Timeout, func(c *smpi.Comm) error {
+		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
 			_, err := conflux.Run(c, nil, opt)
 			return err
 		})
@@ -105,6 +116,9 @@ func Measure(algo costmodel.Algorithm, n, p int, mem float64) (Measurement, erro
 	out.GridDesc = gridDesc
 	out.MeasuredBytes = rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)
 	out.Msgs = rep.TotalMsgs()
+	out.MaxRankMsgs = rep.Time.MaxRankMsgs()
+	out.SimTime = rep.Time.Makespan
+	out.PredTime = costmodel.PredictedTime(algo, params, Machine, float64(out.MaxRankMsgs))
 	return out, nil
 }
 

@@ -12,11 +12,12 @@ import (
 // CSV writers: one per experiment, emitting the series needed to re-plot
 // the paper's figures with any plotting tool.
 
-// WriteCSV emits Table 2 rows: n,p,algo,measured_bytes,model_bytes,pred_pct.
+// WriteCSV emits Table 2 rows: n,p,algo,measured_bytes,model_bytes,pred_pct,
+// plus the simulated and predicted α-β times in seconds.
 func (t *Table2Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{"n", "p", "algo", "measured_bytes", "model_bytes", "prediction_pct", "grid"}); err != nil {
+	if err := cw.Write([]string{"n", "p", "algo", "measured_bytes", "model_bytes", "prediction_pct", "sim_time_s", "pred_time_s", "grid"}); err != nil {
 		return err
 	}
 	for _, m := range t.Rows {
@@ -25,6 +26,8 @@ func (t *Table2Result) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%d", m.MeasuredBytes),
 			fmt.Sprintf("%.0f", m.ModeledBytes),
 			fmt.Sprintf("%.2f", m.PredictionPct()),
+			fmt.Sprintf("%.9f", m.SimTime),
+			fmt.Sprintf("%.9f", m.PredTime),
 			m.GridDesc,
 		}); err != nil {
 			return err
@@ -34,11 +37,11 @@ func (t *Table2Result) WriteCSV(w io.Writer) error {
 }
 
 // WriteCSV emits Fig. 6a series: p,algo,measured_per_node,model_per_node,
-// lower_bound_per_node (bytes).
+// lower_bound_per_node (bytes), and the simulated α-β makespan.
 func (f *Fig6aResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{"p", "algo", "measured_per_node_bytes", "model_per_node_bytes", "lower_bound_bytes"}); err != nil {
+	if err := cw.Write([]string{"p", "algo", "measured_per_node_bytes", "model_per_node_bytes", "lower_bound_bytes", "sim_time_s"}); err != nil {
 		return err
 	}
 	for _, m := range f.Points {
@@ -49,6 +52,7 @@ func (f *Fig6aResult) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.0f", m.PerNodeBytes()),
 			fmt.Sprintf("%.0f", costmodel.PerRankBytes(m.Algo, params)),
 			fmt.Sprintf("%.0f", lb),
+			fmt.Sprintf("%.9f", m.SimTime),
 		}); err != nil {
 			return err
 		}
@@ -56,17 +60,18 @@ func (f *Fig6aResult) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV emits Fig. 6b series: p,n,algo,measured_per_node_bytes.
+// WriteCSV emits Fig. 6b series: p,n,algo,measured_per_node_bytes,sim_time_s.
 func (f *Fig6bResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{"p", "n", "algo", "measured_per_node_bytes"}); err != nil {
+	if err := cw.Write([]string{"p", "n", "algo", "measured_per_node_bytes", "sim_time_s"}); err != nil {
 		return err
 	}
 	for _, m := range f.Points {
 		if err := cw.Write([]string{
 			itoa(m.P), itoa(m.N), string(m.Algo),
 			fmt.Sprintf("%.0f", m.PerNodeBytes()),
+			fmt.Sprintf("%.9f", m.SimTime),
 		}); err != nil {
 			return err
 		}

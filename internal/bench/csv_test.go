@@ -28,7 +28,7 @@ func TestTable2CSV(t *testing.T) {
 	if len(rows) != 5 { // header + 4 algorithms
 		t.Fatalf("rows %d", len(rows))
 	}
-	if rows[0][0] != "n" || rows[0][3] != "measured_bytes" {
+	if rows[0][0] != "n" || rows[0][3] != "measured_bytes" || rows[0][6] != "sim_time_s" {
 		t.Fatalf("header %v", rows[0])
 	}
 	for _, r := range rows[1:] {
@@ -48,8 +48,11 @@ func TestFig6aCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := parseCSV(t, sb.String())
-	if len(rows) != 5 || len(rows[1]) != 5 {
+	if len(rows) != 5 || len(rows[1]) != 6 {
 		t.Fatalf("shape: %d rows", len(rows))
+	}
+	if rows[0][5] != "sim_time_s" {
+		t.Fatalf("header %v", rows[0])
 	}
 }
 

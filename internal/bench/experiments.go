@@ -42,8 +42,8 @@ func TableCell(n, p int) []string {
 			out = append(out, fmt.Sprintf("  %-8s ERROR: %v\n", algo, err))
 			continue
 		}
-		out = append(out, fmt.Sprintf("  %-8s %8.3f / %8.3f (%5.1f%%)   grid %s\n",
-			m.Algo, m.MeasuredGB(), m.ModeledGB(), m.PredictionPct(), m.GridDesc))
+		out = append(out, fmt.Sprintf("  %-8s %8.3f / %8.3f (%5.1f%%)   sim %.4fs / pred %.4fs   grid %s\n",
+			m.Algo, m.MeasuredGB(), m.ModeledGB(), m.PredictionPct(), m.SimTime, m.PredTime, m.GridDesc))
 	}
 	return out
 }
@@ -66,10 +66,10 @@ func (t *Table2Result) Render(w io.Writer) {
 		return keys[i][1] < keys[j][1]
 	})
 	for _, k := range keys {
-		fmt.Fprintf(w, "Total comm. volume for N=%d, P=%d measured/modeled [GB] (prediction %%)\n", k[0], k[1])
+		fmt.Fprintf(w, "Total comm. volume for N=%d, P=%d measured/modeled [GB] (prediction %%), simulated/predicted α-β time [s]\n", k[0], k[1])
 		for _, m := range groups[k] {
-			fmt.Fprintf(w, "  %-8s %8.3f / %8.3f (%5.1f%%)   grid %s\n",
-				m.Algo, m.MeasuredGB(), m.ModeledGB(), m.PredictionPct(), m.GridDesc)
+			fmt.Fprintf(w, "  %-8s %8.3f / %8.3f (%5.1f%%)   sim %.4fs / pred %.4fs   grid %s\n",
+				m.Algo, m.MeasuredGB(), m.ModeledGB(), m.PredictionPct(), m.SimTime, m.PredTime, m.GridDesc)
 		}
 	}
 }
@@ -99,12 +99,12 @@ func RunFig6a(n int, ps []int) (*Fig6aResult, error) {
 // model per-node MB, and the lower bound.
 func (f *Fig6aResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Fig 6a: communication volume per node [MB], N=%d\n", f.N)
-	fmt.Fprintf(w, "%6s %-8s %12s %12s %12s\n", "P", "algo", "measured", "model", "lower-bound")
+	fmt.Fprintf(w, "%6s %-8s %12s %12s %12s %12s\n", "P", "algo", "measured", "model", "lower-bound", "sim-time[s]")
 	for _, m := range f.Points {
 		params := costmodel.Params{N: m.N, P: m.P, M: m.M}
 		lb := xpart.LUParallelLowerBound(m.N, m.P, m.M) * 8 / 1e6
-		fmt.Fprintf(w, "%6d %-8s %12.3f %12.3f %12.3f\n",
-			m.P, m.Algo, m.PerNodeBytes()/1e6, costmodel.PerRankBytes(m.Algo, params)/1e6, lb)
+		fmt.Fprintf(w, "%6d %-8s %12.3f %12.3f %12.3f %12.6f\n",
+			m.P, m.Algo, m.PerNodeBytes()/1e6, costmodel.PerRankBytes(m.Algo, params)/1e6, lb, m.SimTime)
 	}
 }
 
@@ -142,9 +142,9 @@ func RunFig6b(base int, ps []int) (*Fig6bResult, error) {
 // Render prints per-node volumes; flat series identify the 2.5D algorithms.
 func (f *Fig6bResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Fig 6b: weak scaling, N = %d*cbrt(P), per-node volume [MB]\n", f.Base)
-	fmt.Fprintf(w, "%6s %8s %-8s %12s\n", "P", "N", "algo", "measured")
+	fmt.Fprintf(w, "%6s %8s %-8s %12s %12s\n", "P", "N", "algo", "measured", "sim-time[s]")
 	for _, m := range f.Points {
-		fmt.Fprintf(w, "%6d %8d %-8s %12.3f\n", m.P, m.N, m.Algo, m.PerNodeBytes()/1e6)
+		fmt.Fprintf(w, "%6d %8d %-8s %12.3f %12.6f\n", m.P, m.N, m.Algo, m.PerNodeBytes()/1e6, m.SimTime)
 	}
 }
 

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SmokeResult is the machine-readable record the CI bench-smoke job emits
+// (BENCH_smoke.json): one fixed small configuration, measured bytes and
+// simulated α-β time per algorithm, so the performance trajectory of the
+// harness is recorded run over run.
+type SmokeResult struct {
+	N       int                `json:"n"`
+	P       int                `json:"p"`
+	Alpha   float64            `json:"alpha"`
+	Beta    float64            `json:"beta"`
+	Results []SmokeMeasurement `json:"results"`
+}
+
+// SmokeMeasurement is one algorithm's row in the smoke record.
+type SmokeMeasurement struct {
+	Algo          string  `json:"algo"`
+	N             int     `json:"n"`
+	P             int     `json:"p"`
+	MeasuredBytes int64   `json:"measured_bytes"`
+	ModeledBytes  float64 `json:"model_bytes"`
+	Msgs          int64   `json:"msgs"`
+	MaxRankMsgs   int64   `json:"max_rank_msgs"`
+	SimTimeS      float64 `json:"sim_time_s"`
+	PredTimeS     float64 `json:"pred_time_s"`
+	Grid          string  `json:"grid"`
+}
+
+// RunSmoke measures every algorithm at one small (n, p) point and packages
+// the result for JSON emission.
+func RunSmoke(n, p int) (*SmokeResult, error) {
+	ms, err := MeasureAll(n, p)
+	if err != nil {
+		return nil, err
+	}
+	out := &SmokeResult{N: n, P: p, Alpha: Machine.Alpha, Beta: Machine.Beta}
+	for _, m := range ms {
+		out.Results = append(out.Results, SmokeMeasurement{
+			Algo:          string(m.Algo),
+			N:             m.N,
+			P:             m.P,
+			MeasuredBytes: m.MeasuredBytes,
+			ModeledBytes:  m.ModeledBytes,
+			Msgs:          m.Msgs,
+			MaxRankMsgs:   m.MaxRankMsgs,
+			SimTimeS:      m.SimTime,
+			PredTimeS:     m.PredTime,
+			Grid:          m.GridDesc,
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON emits the smoke record as indented JSON.
+func (s *SmokeResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -18,6 +18,27 @@ type Params struct {
 	M float64 // local fast-memory size (elements)
 }
 
+// Machine is the α-β (latency–bandwidth) machine parameter set used by the
+// simulated-time model: a message of b bytes occupies each endpoint for
+// Alpha + Beta·b seconds. It is the type the trace timeline advances
+// per-rank clocks with.
+type Machine = trace.Machine
+
+// DefaultMachine returns the paper-scale interconnect parameters (Piz
+// Daint-class Cray Aries: ~1 µs latency, ~10 GB/s injection bandwidth).
+func DefaultMachine() Machine { return trace.DefaultMachine() }
+
+// PredictedTime returns the α-β time prediction for the critical rank of an
+// algorithm run: Beta times the Table 2 modeled per-rank volume (the
+// bandwidth term) plus Alpha times perRankMsgs (the latency term). The
+// harness has no closed-form message-count models, so callers supply
+// perRankMsgs — typically the measured max-rank timed-phase message count
+// of the run being predicted (§7.3 gives only the asymptotics: O(N)
+// messages for partial pivoting, O(N/v) for tournament pivoting).
+func PredictedTime(a Algorithm, p Params, m Machine, perRankMsgs float64) float64 {
+	return m.Time(PerRankBytes(a, p), perRankMsgs)
+}
+
 // MaxMemoryParams returns the paper's evaluation setting: "enough memory
 // M ≥ N²/P^{2/3} was present to allow the maximum number of replications
 // c = P^{1/3}" (Fig. 6 caption).

@@ -131,9 +131,12 @@ func Laswp(a *mat.Matrix, ipiv []int) {
 	}
 }
 
-// PivToPerm converts LAPACK-style sequential interchanges into an explicit
-// permutation: perm[i] is the original row that ends up at position i.
-func PivToPerm(ipiv []int, m int) []int {
+// PermFromIpiv converts LAPACK-style sequential interchanges into an
+// explicit permutation: perm[i] is the original row that ends up at
+// position i after applying ipiv forward (A[perm,:] = L·U). It is the one
+// shared ipiv→perm conversion — every engine and the public API route
+// through it.
+func PermFromIpiv(ipiv []int, m int) []int {
 	perm := make([]int, m)
 	for i := range perm {
 		perm[i] = i

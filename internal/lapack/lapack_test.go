@@ -14,7 +14,7 @@ func residual(orig, lu *mat.Matrix, ipiv []int) float64 {
 	l, u := SplitLU(lu)
 	prod := mat.New(lu.Rows, lu.Cols)
 	blas.Gemm(1, l, u, 0, prod)
-	perm := PivToPerm(ipiv, orig.Rows)
+	perm := PermFromIpiv(ipiv, orig.Rows)
 	pa := mat.PermuteRows(orig, perm)
 	return mat.MaxAbsDiff(pa, prod) / (mat.NormInf(orig) + 1)
 }
@@ -127,15 +127,37 @@ func TestPhantomGetrf(t *testing.T) {
 	}
 }
 
-func TestLaswpMatchesPivToPerm(t *testing.T) {
+func TestPermFromIpiv(t *testing.T) {
+	// ipiv = {2, 2, 2}: row 0 swaps with 2, then 1 with 2, then 2 with 2.
+	// Forward application of the interchanges to (0 1 2) gives (2 0 1).
+	if got := PermFromIpiv([]int{2, 2, 2}, 3); got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("perm %v want [2 0 1]", got)
+	}
+	// Identity interchanges yield the identity permutation, including for
+	// trailing rows beyond len(ipiv).
+	if got := PermFromIpiv([]int{0, 1}, 4); got[2] != 2 || got[3] != 3 || got[0] != 0 {
+		t.Fatalf("identity perm %v", got)
+	}
+	// A permutation is a bijection: every row index appears exactly once.
+	perm := PermFromIpiv([]int{3, 4, 2, 4, 4}, 5)
+	seen := map[int]bool{}
+	for _, p := range perm {
+		if p < 0 || p >= 5 || seen[p] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestLaswpMatchesPermFromIpiv(t *testing.T) {
 	a := mat.Random(6, 3, 8)
 	ipiv := []int{3, 1, 5}
 	b := a.Clone()
 	Laswp(b, ipiv)
-	perm := PivToPerm(ipiv, 6)
+	perm := PermFromIpiv(ipiv, 6)
 	c := mat.PermuteRows(a, perm)
 	if mat.MaxAbsDiff(b, c) != 0 {
-		t.Fatal("Laswp and PivToPerm disagree")
+		t.Fatal("Laswp and PermFromIpiv disagree")
 	}
 }
 

@@ -50,7 +50,7 @@ func SelectCandidates(c Candidates, v int) (Candidates, error) {
 		ids[k], ids[p] = ids[p], ids[k]
 	}
 	// Winners are the first `take` rows of the pivoted ORIGINAL data.
-	perm := PivToPerm(piv, m)
+	perm := PermFromIpiv(piv, m)
 	out := mat.New(take, c.Rows.Cols)
 	for i := 0; i < take; i++ {
 		copy(out.Row(i), c.Rows.Row(perm[i]))

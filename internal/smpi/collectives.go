@@ -215,7 +215,9 @@ func (c *Comm) AllgatherMats(send *mat.Matrix, out []*mat.Matrix) {
 }
 
 // Barrier synchronizes the communicator with zero metered volume (control
-// traffic is not data volume in the paper's accounting).
+// traffic is not data volume in the paper's accounting). It is not free in
+// simulated time: each butterfly round costs α per endpoint, so barriers
+// contribute latency to the makespan like real fence synchronization.
 func (c *Comm) Barrier() {
 	c.Butterfly(Msg{N: 0}, func(a, b Msg) Msg { return Msg{N: 0} })
 }

@@ -14,12 +14,18 @@ import (
 type RankFunc func(c *Comm) error
 
 // Run executes fn on p ranks (one goroutine each) and returns the
-// communication-volume report. The first rank error (or panic, converted to
-// an error) aborts the result; remaining ranks are still drained to avoid
-// goroutine leaks in the common all-ranks-fail-together cases.
+// communication-volume report (including the simulated-time sub-report
+// under the default α-β machine). The first rank error (or panic, converted
+// to an error) aborts the result; remaining ranks are still drained to
+// avoid goroutine leaks in the common all-ranks-fail-together cases.
 func Run(p int, payload bool, fn RankFunc) (*trace.Report, error) {
 	w := NewWorld(p, payload)
 	return RunWorld(w, fn)
+}
+
+// RunMachine is Run with explicit α-β machine parameters for the timeline.
+func RunMachine(p int, payload bool, m trace.Machine, fn RankFunc) (*trace.Report, error) {
+	return RunWorld(NewWorldMachine(p, payload, m), fn)
 }
 
 // RunWorld is Run with a caller-configured world (fault injection, etc.).
@@ -53,28 +59,33 @@ func RunWorld(w *World, fn RankFunc) (*trace.Report, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil && !errors.Is(err, ErrAborted) {
-			return w.Counter.Report(), err
+			return w.Trace.Report(), err
 		}
 	}
 	for _, err := range errs {
 		if err != nil {
-			return w.Counter.Report(), err
+			return w.Trace.Report(), err
 		}
 	}
-	return w.Counter.Report(), nil
+	return w.Trace.Report(), nil
 }
 
 // RunTimeout is Run with a deadline; it fails rather than deadlocking when a
 // schedule bug leaves ranks blocked on Recv. Only for tests: the goroutines
 // of a timed-out run are abandoned.
 func RunTimeout(p int, payload bool, d time.Duration, fn RankFunc) (*trace.Report, error) {
+	return RunTimeoutMachine(p, payload, trace.DefaultMachine(), d, fn)
+}
+
+// RunTimeoutMachine is RunTimeout with explicit α-β machine parameters.
+func RunTimeoutMachine(p int, payload bool, m trace.Machine, d time.Duration, fn RankFunc) (*trace.Report, error) {
 	type result struct {
 		rep *trace.Report
 		err error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		rep, err := Run(p, payload, fn)
+		rep, err := RunMachine(p, payload, m, fn)
 		ch <- result{rep, err}
 	}()
 	select {

@@ -1,8 +1,11 @@
 // Package smpi is a deterministic message-passing runtime that stands in for
 // MPI in the paper's experiments (see DESIGN.md §1). Ranks are goroutines;
-// messages are delivered through per-rank mailboxes; every send is metered
-// by internal/trace exactly once, attributed to the sending rank and to the
-// rank's current phase label.
+// messages are delivered through per-rank mailboxes; every delivery crosses
+// one metering point on the world's trace.Timeline, attributed to the
+// sending rank and to the rank's current phase label, and advances the
+// per-rank logical clocks of the α-β simulated-time model (DESIGN.md §7) —
+// so collectives, dist.Scatter/Gather, and every engine built on top
+// inherit both volume metering and timing for free.
 //
 // The runtime has two payload modes. In numeric mode messages carry real
 // float64 data. In volume mode (phantom payloads) messages carry only their
@@ -23,11 +26,12 @@ import (
 )
 
 // World is one simulated machine: P ranks with private memories, a shared
-// byte counter, and an optional send-fault injector used by tests.
+// event timeline (volume + simulated time), and an optional send-fault
+// injector used by tests.
 type World struct {
 	P       int
 	Payload bool
-	Counter *trace.Counter
+	Trace   *trace.Timeline
 
 	boxes   []*mailbox
 	aborted atomic.Bool
@@ -38,12 +42,23 @@ type World struct {
 	FailSend func(from, to int, bytes int64) error
 }
 
-// NewWorld creates a world with p ranks. payload=false selects volume mode.
+// NewWorld creates a world with p ranks under the default α-β machine.
+// payload=false selects volume mode.
 func NewWorld(p int, payload bool) *World {
+	return NewWorldMachine(p, payload, trace.DefaultMachine())
+}
+
+// NewWorldMachine creates a world whose timeline advances clocks with the
+// given α-β machine parameters.
+func NewWorldMachine(p int, payload bool, m trace.Machine) *World {
 	if p <= 0 {
 		panic("smpi: world size must be positive")
 	}
-	w := &World{P: p, Payload: payload, Counter: trace.NewCounter(p)}
+	w := &World{P: p, Payload: payload, Trace: trace.NewTimeline(p, m)}
+	// Housekeeping traffic is metered but untimed: the paper assumes the
+	// input is already distributed (§7.4), so neither the layout scatter
+	// nor the verification gather may dominate the simulated makespan.
+	w.Trace.ExcludeFromTiming(trace.PhaseLayout, trace.PhaseCollect)
 	w.boxes = make([]*mailbox, p)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -53,11 +68,16 @@ func NewWorld(p int, payload bool) *World {
 
 // Msg is the wire unit: an optional float64 payload, an optional int payload
 // (pivot indices and other metadata, carried in both modes), and N, the
-// metered element count (8 bytes each).
+// metered element count (8 bytes each). The unexported fields carry the
+// sender's timeline stamp (send-completion clock and phase label); Send
+// overwrites them, so callers never need to set them.
 type Msg struct {
 	F []float64
 	I []int
 	N int
+
+	sendTime  float64
+	sendPhase string
 }
 
 type msgKey struct {
@@ -190,7 +210,9 @@ func (c *Comm) SetPhase(phase string) { *c.phase = phase }
 func (c *Comm) Phase() string { return *c.phase }
 
 // Send delivers msg to communicator rank `to` under `tag`. Zero-copy is
-// never assumed: callers pass freshly packed slices.
+// never assumed: callers pass freshly packed slices. The send is metered on
+// the world timeline (bytes, sender clock += α + β·bytes) and the message
+// carries the sender's post-injection clock for Recv to match against.
 func (c *Comm) Send(to, tag int, msg Msg) {
 	if to < 0 || to >= len(c.members) {
 		panic(fmt.Sprintf("smpi: Send to rank %d of %d", to, len(c.members)))
@@ -203,18 +225,26 @@ func (c *Comm) Send(to, tag int, msg Msg) {
 		}
 	}
 	if dst != src { // self-sends are memory moves, not network traffic
-		c.w.Counter.RecordSend(src, dst, bytes, *c.phase)
+		msg.sendPhase = *c.phase
+		msg.sendTime = c.w.Trace.RecordSend(src, dst, bytes, msg.sendPhase)
 	}
 	c.w.boxes[dst].put(msgKey{src: src, comm: c.id, tag: tag}, msg)
 }
 
 // Recv blocks until a message from communicator rank `from` under `tag`
-// arrives and returns it.
+// arrives and returns it. Matching completes the delivery on the timeline:
+// the receiver's clock jumps to max(local, sender) — wait time — and then
+// advances by α + β·bytes.
 func (c *Comm) Recv(from, tag int) Msg {
 	if from < 0 || from >= len(c.members) {
 		panic(fmt.Sprintf("smpi: Recv from rank %d of %d", from, len(c.members)))
 	}
-	return c.w.boxes[c.WorldRank()].take(c.w, msgKey{src: c.members[from], comm: c.id, tag: tag})
+	src, me := c.members[from], c.WorldRank()
+	msg := c.w.boxes[me].take(c.w, msgKey{src: src, comm: c.id, tag: tag})
+	if src != me { // self-receives are memory moves, untimed
+		c.w.Trace.RecordRecv(src, me, int64(msg.N)*trace.BytesPerElement, msg.sendPhase, msg.sendTime)
+	}
+	return msg
 }
 
 // SendMat sends a matrix (payload in numeric mode, count-only otherwise).

@@ -394,6 +394,59 @@ func TestDeadlockDetectedByTimeout(t *testing.T) {
 	}
 }
 
+// TestCollectiveVolumeNonPowerOfTwo pins the collective accounting at the
+// awkward communicator sizes the binomial trees must still meter exactly:
+// BcastMat, ReduceMatSum, and BcastInts each move exactly (p-1)·len
+// elements regardless of how the tree folds.
+func TestCollectiveVolumeNonPowerOfTwo(t *testing.T) {
+	const elems = 12 // 3x4 matrices and 12-int slices
+	for _, p := range []int{3, 5, 6, 7} {
+		cases := []struct {
+			name string
+			body RankFunc
+		}{
+			{"BcastMat", func(c *Comm) error {
+				c.BcastMat(0, mat.New(3, 4))
+				return nil
+			}},
+			{"ReduceMatSum", func(c *Comm) error {
+				c.ReduceMatSum(0, mat.New(3, 4))
+				return nil
+			}},
+			{"BcastInts", func(c *Comm) error {
+				c.BcastInts(0, make([]int, elems))
+				return nil
+			}},
+		}
+		for _, tc := range cases {
+			rep := run(t, p, true, tc.body)
+			want := int64((p - 1) * elems * 8)
+			if got := rep.TotalBytes(); got != want {
+				t.Fatalf("%s p=%d: metered %d bytes, want (p-1)·len·8 = %d", tc.name, p, got, want)
+			}
+		}
+	}
+}
+
+// TestSimulatedTimeBasics: sends advance the simulated clocks, barriers
+// cost latency but no volume, and an idle world has zero makespan.
+func TestSimulatedTimeBasics(t *testing.T) {
+	rep := run(t, 3, true, func(c *Comm) error {
+		c.Barrier()
+		return nil
+	})
+	if rep.TotalBytes() != 0 {
+		t.Fatalf("barrier metered %d bytes", rep.TotalBytes())
+	}
+	if rep.Time.Makespan <= 0 {
+		t.Fatal("barrier should cost α latency in simulated time")
+	}
+	idle := run(t, 3, true, func(c *Comm) error { return nil })
+	if idle.Time.Makespan != 0 {
+		t.Fatalf("idle world makespan %v", idle.Time.Makespan)
+	}
+}
+
 // Property: tree-broadcast volume is exactly (p-1)·len·8 for any p, len.
 func TestQuickBcastVolume(t *testing.T) {
 	f := func(p8, len8 uint8) bool {

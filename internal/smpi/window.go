@@ -15,7 +15,9 @@ import (
 // participation. Epochs are bounded by Fence (which synchronizes all ranks
 // and flushes pending accesses). Puts and Gets are metered like sends: a Get
 // counts as bytes sent by the TARGET (the data crosses the network from the
-// target to the origin), a Put as bytes sent by the ORIGIN.
+// target to the origin), a Put as bytes sent by the ORIGIN. Simulated time
+// is charged to the ORIGIN only — the target is passive under MPI one-sided
+// semantics, so its logical clock never moves.
 type Window struct {
 	comm  *Comm
 	id    int
@@ -79,8 +81,8 @@ func (w *Window) Get(rank, i, j int, dst *mat.Matrix) {
 	dst.CopyFrom(src)
 	t.mu.Unlock()
 	if w.comm.members[rank] != w.comm.WorldRank() {
-		w.comm.w.Counter.RecordSend(w.comm.members[rank], w.comm.WorldRank(),
-			int64(dst.Len())*trace.BytesPerElement, w.comm.Phase())
+		w.comm.w.Trace.RecordOneSided(w.comm.WorldRank(), w.comm.members[rank],
+			w.comm.WorldRank(), int64(dst.Len())*trace.BytesPerElement, w.comm.Phase())
 	}
 }
 
@@ -92,8 +94,8 @@ func (w *Window) Put(rank, i, j int, src *mat.Matrix) {
 	t.local.View(i, j, src.Rows, src.Cols).CopyFrom(src)
 	t.mu.Unlock()
 	if w.comm.members[rank] != w.comm.WorldRank() {
-		w.comm.w.Counter.RecordSend(w.comm.WorldRank(), w.comm.members[rank],
-			int64(src.Len())*trace.BytesPerElement, w.comm.Phase())
+		w.comm.w.Trace.RecordOneSided(w.comm.WorldRank(), w.comm.WorldRank(),
+			w.comm.members[rank], int64(src.Len())*trace.BytesPerElement, w.comm.Phase())
 	}
 }
 
@@ -105,8 +107,8 @@ func (w *Window) Accumulate(rank, i, j int, src *mat.Matrix) {
 	t.local.View(i, j, src.Rows, src.Cols).AddFrom(src)
 	t.mu.Unlock()
 	if w.comm.members[rank] != w.comm.WorldRank() {
-		w.comm.w.Counter.RecordSend(w.comm.WorldRank(), w.comm.members[rank],
-			int64(src.Len())*trace.BytesPerElement, w.comm.Phase())
+		w.comm.w.Trace.RecordOneSided(w.comm.WorldRank(), w.comm.WorldRank(),
+			w.comm.members[rank], int64(src.Len())*trace.BytesPerElement, w.comm.Phase())
 	}
 }
 

@@ -18,7 +18,7 @@ func ResidualLU(orig, lu *mat.Matrix, ipiv []int) float64 {
 	l, u := lapack.SplitLU(lu)
 	prod := mat.New(n, n)
 	blas.Gemm(1, l, u, 0, prod)
-	perm := lapack.PivToPerm(ipiv, n)
+	perm := lapack.PermFromIpiv(ipiv, n)
 	pa := mat.PermuteRows(orig, perm)
 	return mat.MaxAbsDiff(pa, prod) / (mat.NormInf(orig)*float64(n) + 1)
 }

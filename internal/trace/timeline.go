@@ -1,0 +1,376 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Machine is the α-β (latency–bandwidth) machine model used to advance the
+// simulated clocks: a message of b bytes costs Alpha + Beta·b seconds on
+// each endpoint it occupies. The paper argues its pivoting and broadcast
+// choices in exactly these terms (§7.3: partial pivoting needs O(N) messages
+// on the critical path, tournament pivoting O(N/v)).
+type Machine struct {
+	Alpha float64 // per-message latency, seconds
+	Beta  float64 // per-byte transfer cost, seconds per byte
+}
+
+// DefaultMachine returns paper-scale interconnect parameters in the class of
+// Piz Daint's Cray Aries network (§8): ~1 µs message latency and ~10 GB/s
+// injection bandwidth per node.
+func DefaultMachine() Machine { return Machine{Alpha: 1e-6, Beta: 1e-10} }
+
+// Time returns the α-β cost of moving the given traffic serially:
+// msgs·Alpha + bytes·Beta. It is the one place the cost formula lives —
+// the timeline's per-endpoint advance and costmodel.PredictedTime both
+// route through it.
+func (m Machine) Time(bytes, msgs float64) float64 {
+	return msgs*m.Alpha + bytes*m.Beta
+}
+
+// Event is one matched point-to-point delivery on the simulated machine.
+// Phase is the sending rank's phase label at send time. SendTime is the
+// sender's logical clock when the injection completed; RecvTime the
+// receiver's clock when the delivery completed. One-sided (RMA) transfers
+// appear with SendTime == RecvTime: only the origin's clock advances.
+type Event struct {
+	From, To int
+	Bytes    int64
+	Phase    string
+	SendTime float64
+	RecvTime float64
+}
+
+// DefaultEventCap bounds how many matched events a timeline retains. The
+// aggregate counters and clocks are exact regardless of the cap; only the
+// retained Events() slice is truncated (paper-scale replays produce tens of
+// millions of deliveries — retaining them all would dwarf the phantom
+// matrices the volume mode exists to avoid).
+const DefaultEventCap = 1 << 20
+
+// Timeline is the per-rank event-timeline substrate behind every simulated
+// run: it meters communication volume exactly as the paper's Score-P
+// methodology counts it (per sending rank, per phase) and simultaneously
+// advances per-rank logical clocks under the α-β model. It is safe for
+// concurrent use by all ranks of a simulated world.
+//
+// Clock rules (see DESIGN.md §7):
+//
+//	send  by r:  clock[r] += α + β·bytes          (injection, busy time)
+//	recv  by r:  clock[r]  = max(clock[r], sendTime)   (wait time)
+//	             clock[r] += α + β·bytes          (reception, busy time)
+//	self-sends and local RMA access advance nothing (memory moves).
+type Timeline struct {
+	mu      sync.Mutex
+	p       int
+	machine Machine
+
+	// Volume aggregates, updated at send time — exactly the state the
+	// pre-timeline Counter kept, so Report() stays byte-identical.
+	sent      []int64
+	recv      []int64
+	msgs      []int64
+	byPhase   map[string]int64
+	phaseMsgs map[string]int64
+
+	// Timing state. busy is α-β work; wait is clock jumps on matching.
+	// timedMsgs counts messages injected per rank in timed phases only —
+	// the latency-critical-path counterpart of the msgs aggregate.
+	clock     []float64
+	busy      []float64
+	wait      []float64
+	busyPhase []map[string]float64
+	timedMsgs []int64
+
+	// untimed phases are metered for volume but advance no clocks — the
+	// paper's §7.4 assumption that the input "is already distributed in
+	// the block cyclic layout" applied to simulated time: the layout
+	// scatter and verification gather cost nothing.
+	untimed map[string]bool
+
+	events   []Event
+	eventCap int
+	dropped  int64
+}
+
+// NewTimeline creates the timeline for p ranks under machine m.
+func NewTimeline(p int, m Machine) *Timeline {
+	t := &Timeline{
+		p: p, machine: m,
+		sent: make([]int64, p), recv: make([]int64, p), msgs: make([]int64, p),
+		byPhase: map[string]int64{}, phaseMsgs: map[string]int64{},
+		clock: make([]float64, p), busy: make([]float64, p), wait: make([]float64, p),
+		busyPhase: make([]map[string]float64, p),
+		timedMsgs: make([]int64, p),
+		untimed:   map[string]bool{},
+		eventCap:  DefaultEventCap,
+	}
+	for i := range t.busyPhase {
+		t.busyPhase[i] = map[string]float64{}
+	}
+	return t
+}
+
+// Machine returns the α-β parameters the timeline advances clocks with.
+func (t *Timeline) Machine() Machine { return t.machine }
+
+// SetEventCap bounds event retention (0 retains nothing; aggregates and
+// clocks are unaffected). Call before the run starts.
+func (t *Timeline) SetEventCap(n int) {
+	t.mu.Lock()
+	t.eventCap = n
+	t.mu.Unlock()
+}
+
+// ExcludeFromTiming marks phases whose traffic is metered for volume (and
+// still recorded as events) but advances no logical clocks. The runtime
+// excludes PhaseLayout and PhaseCollect by default, mirroring the volume
+// accounting's AlgorithmBytes exclusion: the paper assumes the input is
+// already distributed, so the housekeeping scatter/gather must not dominate
+// the simulated makespan either. Call before the run starts.
+func (t *Timeline) ExcludeFromTiming(phases ...string) {
+	t.mu.Lock()
+	for _, ph := range phases {
+		t.untimed[ph] = true
+	}
+	t.mu.Unlock()
+}
+
+func (t *Timeline) appendEvent(e Event) {
+	if len(t.events) < t.eventCap {
+		t.events = append(t.events, e)
+	} else {
+		t.dropped++
+	}
+}
+
+// cost is the α-β occupancy of one message endpoint.
+func (t *Timeline) cost(bytes int64) float64 {
+	return t.machine.Time(float64(bytes), 1)
+}
+
+// meterLocked is the one volume-aggregate update: every metering entry
+// point (two-sided and one-sided) must route through it so the attribution
+// rules cannot drift apart.
+func (t *Timeline) meterLocked(from, to int, bytes int64, phase string) {
+	t.sent[from] += bytes
+	t.recv[to] += bytes
+	t.msgs[from]++
+	t.byPhase[phase] += bytes
+	t.phaseMsgs[phase]++
+}
+
+// RecordSend meters bytes sent by rank from (received by rank to) under the
+// given phase label and advances the sender's clock by α + β·bytes. It
+// returns the sender's clock after injection — the send timestamp the
+// runtime carries on the message and hands back to RecordRecv on matching.
+func (t *Timeline) RecordSend(from, to int, bytes int64, phase string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meterLocked(from, to, bytes, phase)
+	if !t.untimed[phase] {
+		d := t.cost(bytes)
+		t.clock[from] += d
+		t.busy[from] += d
+		t.busyPhase[from][phase] += d
+		t.timedMsgs[from]++
+	}
+	return t.clock[from]
+}
+
+// RecordRecv completes a matched delivery on the receiving rank: the clock
+// jumps to max(local, sendTime) — the jump is wait time — then advances by
+// α + β·bytes of reception work. The completed Event is appended to the
+// timeline. phase is the event's (send-side) phase label.
+func (t *Timeline) RecordRecv(from, to int, bytes int64, phase string, sendTime float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.untimed[phase] {
+		if sendTime > t.clock[to] {
+			t.wait[to] += sendTime - t.clock[to]
+			t.clock[to] = sendTime
+		}
+		d := t.cost(bytes)
+		t.clock[to] += d
+		t.busy[to] += d
+		t.busyPhase[to][phase] += d
+	}
+	// Untimed deliveries leave the receiver's clock alone, which can sit
+	// behind the send stamp; clamp so the event interval is never negative.
+	rt := t.clock[to]
+	if rt < sendTime {
+		rt = sendTime
+	}
+	t.appendEvent(Event{From: from, To: to, Bytes: bytes, Phase: phase,
+		SendTime: sendTime, RecvTime: rt})
+}
+
+// RecordOneSided meters an RMA transfer of bytes from → to whose time cost
+// is charged to the active rank only (the origin of a Put or Get; the
+// target is passive, per MPI one-sided semantics). Volume is attributed
+// from → to exactly like a send.
+func (t *Timeline) RecordOneSided(active, from, to int, bytes int64, phase string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meterLocked(from, to, bytes, phase)
+	if !t.untimed[phase] {
+		d := t.cost(bytes)
+		t.clock[active] += d
+		t.busy[active] += d
+		t.busyPhase[active][phase] += d
+		t.timedMsgs[active]++
+	}
+	t.appendEvent(Event{From: from, To: to, Bytes: bytes, Phase: phase,
+		SendTime: t.clock[active], RecvTime: t.clock[active]})
+}
+
+// Events returns a copy of the retained (matched) events in completion
+// order. Retention is bounded by SetEventCap; EventsDropped reports the
+// overflow.
+func (t *Timeline) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// EventsDropped returns how many events exceeded the retention cap.
+func (t *Timeline) EventsDropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Report derives the immutable volume report — including the simulated-time
+// sub-report — from the timeline. The volume fields are identical to what
+// the pre-timeline per-rank counters produced: they are maintained at the
+// same single metering point with the same attribution rules.
+func (t *Timeline) Report() *Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := &Report{
+		P:         t.p,
+		Sent:      append([]int64(nil), t.sent...),
+		Recv:      append([]int64(nil), t.recv...),
+		Msgs:      append([]int64(nil), t.msgs...),
+		ByPhase:   make(map[string]int64, len(t.byPhase)),
+		PhaseMsgs: make(map[string]int64, len(t.phaseMsgs)),
+	}
+	for k, v := range t.byPhase {
+		r.ByPhase[k] = v
+	}
+	for k, v := range t.phaseMsgs {
+		r.PhaseMsgs[k] = v
+	}
+	r.Time = t.timeReportLocked()
+	return r
+}
+
+func (t *Timeline) timeReportLocked() *TimeReport {
+	tr := &TimeReport{
+		Machine: t.machine,
+		Clock:   append([]float64(nil), t.clock...),
+		Busy:    append([]float64(nil), t.busy...),
+		Wait:    append([]float64(nil), t.wait...),
+		Msgs:    append([]int64(nil), t.timedMsgs...),
+	}
+	for r, c := range t.clock {
+		if c > tr.Makespan {
+			tr.Makespan = c
+			tr.CritRank = r
+		}
+	}
+	tr.CritPhases = map[string]float64{}
+	if t.p > 0 {
+		for ph, d := range t.busyPhase[tr.CritRank] {
+			tr.CritPhases[ph] = d
+		}
+	}
+	tr.PhaseBusyMax = map[string]float64{}
+	for _, perPhase := range t.busyPhase {
+		for ph, d := range perPhase {
+			if d > tr.PhaseBusyMax[ph] {
+				tr.PhaseBusyMax[ph] = d
+			}
+		}
+	}
+	return tr
+}
+
+// TimeReport is the simulated-time view of one run under the α-β model:
+// per-rank logical clocks, the busy/wait split, and the phase attribution
+// of the critical (makespan-defining) rank.
+type TimeReport struct {
+	Machine  Machine
+	Makespan float64   // max final clock over ranks, seconds
+	Clock    []float64 // per-rank final clocks
+	Busy     []float64 // per-rank α-β transfer work
+	Wait     []float64 // per-rank time spent blocked on matching
+	Msgs     []int64   // per-rank messages injected in timed phases only
+	CritRank int       // rank whose clock defines the makespan
+	// CritPhases is the critical rank's busy time per phase label — where
+	// the simulated critical path actually spends its communication time.
+	CritPhases map[string]float64
+	// PhaseBusyMax is, per phase, the largest busy time any single rank
+	// spent in it — the phase's own critical path, independent of which
+	// rank bounds the whole run (a phase can be latency-critical on a
+	// rank the overall makespan never visits).
+	PhaseBusyMax map[string]float64
+}
+
+// CritBusy returns the critical rank's transfer (busy) time: the pure α-β
+// communication time on the critical path, excluding waits.
+func (t *TimeReport) CritBusy() float64 {
+	if t.CritRank >= len(t.Busy) {
+		return 0
+	}
+	return t.Busy[t.CritRank]
+}
+
+// CritWait returns the critical rank's wait time. Makespan = CritBusy +
+// CritWait by construction.
+func (t *TimeReport) CritWait() float64 {
+	if t.CritRank >= len(t.Wait) {
+		return 0
+	}
+	return t.Wait[t.CritRank]
+}
+
+// MaxRankMsgs returns the maximum timed-phase message count injected by
+// any single rank — the latency-bound critical path, with the untimed
+// housekeeping phases excluded exactly as they are from the clocks.
+func (t *TimeReport) MaxRankMsgs() int64 {
+	var m int64
+	for _, v := range t.Msgs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CritPhaseOrder returns the critical rank's phase labels sorted by
+// descending busy time.
+func (t *TimeReport) CritPhaseOrder() []string {
+	keys := make([]string, 0, len(t.CritPhases))
+	for k := range t.CritPhases {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if t.CritPhases[keys[i]] != t.CritPhases[keys[j]] {
+			return t.CritPhases[keys[i]] > t.CritPhases[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// String renders a short human-readable timing summary.
+func (t *TimeReport) String() string {
+	s := fmt.Sprintf("makespan=%.6fs crit-rank=%d busy=%.6fs wait=%.6fs (α=%.2e β=%.2e)\n",
+		t.Makespan, t.CritRank, t.CritBusy(), t.CritWait(), t.Machine.Alpha, t.Machine.Beta)
+	for _, ph := range t.CritPhaseOrder() {
+		s += fmt.Sprintf("  %-24s %12.6f s\n", ph, t.CritPhases[ph])
+	}
+	return s
+}

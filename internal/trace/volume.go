@@ -1,76 +1,25 @@
-// Package trace meters communication volume the way the paper measures it:
-// it "instruments the implementations … and counts the aggregate bytes sent
-// over the network" (paper §8, Score-P on Piz Daint). Every send performed
-// through internal/smpi is recorded here, attributed to the sending rank and
-// to the phase label active on its communicator.
+// Package trace is the instrumentation substrate of the simulated machine.
+// It meters communication volume the way the paper measures it: it
+// "instruments the implementations … and counts the aggregate bytes sent
+// over the network" (paper §8, Score-P on Piz Daint). Every point-to-point
+// delivery performed through internal/smpi is recorded here as an event on
+// a per-rank timeline (see Timeline), attributed to the sending rank and to
+// the phase label active on its communicator — and simultaneously timed
+// under an α-β (latency–bandwidth) machine model, from which the simulated
+// makespan and the per-rank busy/wait split derive.
 package trace
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // BytesPerElement is the element size used throughout (float64, as in the
 // paper: "the models are scaled by the element size (8 bytes)").
 const BytesPerElement = 8
 
-// Counter accumulates per-rank communication volume. It is safe for
-// concurrent use by all ranks of a simulated run.
-type Counter struct {
-	mu        sync.Mutex
-	p         int
-	sent      []int64
-	recv      []int64
-	msgs      []int64
-	byPhase   map[string]int64
-	phaseMsgs map[string]int64
-}
-
-// NewCounter creates a counter for p ranks.
-func NewCounter(p int) *Counter {
-	return &Counter{
-		p: p, sent: make([]int64, p), recv: make([]int64, p), msgs: make([]int64, p),
-		byPhase: map[string]int64{}, phaseMsgs: map[string]int64{},
-	}
-}
-
-// RecordSend attributes n bytes sent by rank from (received by rank to)
-// under the given phase label. Message counts serve as the latency proxy
-// for the pivoting-strategy ablation (§7.3: partial pivoting costs O(N)
-// latency, tournament pivoting O(N/v)).
-func (c *Counter) RecordSend(from, to int, bytes int64, phase string) {
-	c.mu.Lock()
-	c.sent[from] += bytes
-	c.recv[to] += bytes
-	c.msgs[from]++
-	c.byPhase[phase] += bytes
-	c.phaseMsgs[phase]++
-	c.mu.Unlock()
-}
-
-// Report snapshots the counter into an immutable report.
-func (c *Counter) Report() *Report {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r := &Report{
-		P:       c.p,
-		Sent:    append([]int64(nil), c.sent...),
-		Recv:    append([]int64(nil), c.recv...),
-		Msgs:    append([]int64(nil), c.msgs...),
-		ByPhase: make(map[string]int64, len(c.byPhase)),
-	}
-	for k, v := range c.byPhase {
-		r.ByPhase[k] += v
-	}
-	r.PhaseMsgs = make(map[string]int64, len(c.phaseMsgs))
-	for k, v := range c.phaseMsgs {
-		r.PhaseMsgs[k] += v
-	}
-	return r
-}
-
-// Report is a snapshot of the communication volume of one run.
+// Report is a snapshot of the communication volume of one run, derived from
+// the event timeline. Time carries the simulated-time view of the same run.
 type Report struct {
 	P         int
 	Sent      []int64 // bytes sent per rank
@@ -78,6 +27,10 @@ type Report struct {
 	Msgs      []int64 // messages sent per rank (latency proxy)
 	ByPhase   map[string]int64
 	PhaseMsgs map[string]int64
+	// Time is the α-β simulated-time sub-report (makespan, busy/wait
+	// split, critical-path phase attribution). Derived from the same
+	// timeline as the volume fields above.
+	Time *TimeReport
 }
 
 // TotalMsgs is the aggregate message count.
@@ -163,6 +116,10 @@ func (r *Report) String() string {
 		r.P, r.TotalGB(), r.PerNodeBytes()/1e6, float64(r.MaxRankBytes())/1e6)
 	for _, ph := range r.Phases() {
 		s += fmt.Sprintf("  %-24s %12.3f MB\n", ph, float64(r.ByPhase[ph])/1e6)
+	}
+	if r.Time != nil {
+		s += fmt.Sprintf("  simulated makespan %.6f s (busy %.6f, wait %.6f on rank %d)\n",
+			r.Time.Makespan, r.Time.CritBusy(), r.Time.CritWait(), r.Time.CritRank)
 	}
 	return s
 }

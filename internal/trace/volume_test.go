@@ -6,12 +6,12 @@ import (
 	"testing"
 )
 
-func TestCounterBasics(t *testing.T) {
-	c := NewCounter(3)
-	c.RecordSend(0, 1, 100, "x")
-	c.RecordSend(1, 2, 50, "y")
-	c.RecordSend(0, 2, 25, "x")
-	r := c.Report()
+func TestTimelineVolumeBasics(t *testing.T) {
+	tl := NewTimeline(3, DefaultMachine())
+	tl.RecordSend(0, 1, 100, "x")
+	tl.RecordSend(1, 2, 50, "y")
+	tl.RecordSend(0, 2, 25, "x")
+	r := tl.Report()
 	if r.TotalBytes() != 175 {
 		t.Fatalf("total %d", r.TotalBytes())
 	}
@@ -30,67 +30,73 @@ func TestCounterBasics(t *testing.T) {
 }
 
 func TestPhaseMessageCounts(t *testing.T) {
-	c := NewCounter(2)
-	c.RecordSend(0, 1, 10, "a")
-	c.RecordSend(0, 1, 10, "a")
-	c.RecordSend(1, 0, 10, "b")
-	r := c.Report()
+	tl := NewTimeline(2, DefaultMachine())
+	tl.RecordSend(0, 1, 10, "a")
+	tl.RecordSend(0, 1, 10, "a")
+	tl.RecordSend(1, 0, 10, "b")
+	r := tl.Report()
 	if r.PhaseMsgs["a"] != 2 || r.PhaseMsgs["b"] != 1 {
 		t.Fatalf("phase msgs %v", r.PhaseMsgs)
 	}
 	if r.TotalMsgs() != 3 || r.Msgs[0] != 2 {
 		t.Fatalf("msgs %v", r.Msgs)
 	}
+	if r.Time.MaxRankMsgs() != 2 {
+		t.Fatalf("max-rank timed msgs %d", r.Time.MaxRankMsgs())
+	}
 }
 
 func TestReportIsSnapshot(t *testing.T) {
-	c := NewCounter(1)
-	c.RecordSend(0, 0, 10, "a")
-	r := c.Report()
-	c.RecordSend(0, 0, 10, "a")
+	tl := NewTimeline(1, DefaultMachine())
+	tl.RecordSend(0, 0, 10, "a")
+	r := tl.Report()
+	tl.RecordSend(0, 0, 10, "a")
 	if r.TotalBytes() != 10 {
 		t.Fatal("report mutated after snapshot")
 	}
 }
 
 func TestConcurrentRecording(t *testing.T) {
-	c := NewCounter(8)
+	tl := NewTimeline(8, DefaultMachine())
 	var wg sync.WaitGroup
 	for r := 0; r < 8; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				c.RecordSend(rank, (rank+1)%8, 1, "p")
+				tl.RecordSend(rank, (rank+1)%8, 1, "p")
 			}
 		}(r)
 	}
 	wg.Wait()
-	if got := c.Report().TotalBytes(); got != 8000 {
+	if got := tl.Report().TotalBytes(); got != 8000 {
 		t.Fatalf("lost updates: %d", got)
 	}
 }
 
 func TestPhasesSortedByVolume(t *testing.T) {
-	c := NewCounter(1)
-	c.RecordSend(0, 0, 5, "small")
-	c.RecordSend(0, 0, 500, "big")
-	c.RecordSend(0, 0, 50, "mid")
-	ph := c.Report().Phases()
+	tl := NewTimeline(1, DefaultMachine())
+	tl.RecordSend(0, 0, 5, "small")
+	tl.RecordSend(0, 0, 500, "big")
+	tl.RecordSend(0, 0, 50, "mid")
+	ph := tl.Report().Phases()
 	if ph[0] != "big" || ph[1] != "mid" || ph[2] != "small" {
 		t.Fatalf("order: %v", ph)
 	}
 }
 
 func TestGBAndString(t *testing.T) {
-	c := NewCounter(2)
-	c.RecordSend(0, 1, 2_000_000_000, "bulk")
-	r := c.Report()
+	tl := NewTimeline(2, DefaultMachine())
+	tl.RecordSend(0, 1, 2_000_000_000, "bulk")
+	r := tl.Report()
 	if r.TotalGB() != 2.0 {
 		t.Fatalf("GB %v", r.TotalGB())
 	}
 	s := r.String()
 	if !strings.Contains(s, "bulk") || !strings.Contains(s, "P=2") {
 		t.Fatalf("string: %q", s)
+	}
+	if !strings.Contains(s, "makespan") {
+		t.Fatalf("string missing timing summary: %q", s)
 	}
 }
