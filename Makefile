@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full vet fmt-check bench-smoke bench-json ci
+.PHONY: all build test test-full vet fmt-check bench-smoke bench-json conformance cover ci
 
 all: ci
 
@@ -26,6 +26,19 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Cross-engine conformance suite under the race detector: all four LU
+# engines plus Cholesky on shared seeds, at non-power-of-two rank counts,
+# feeding the distributed solve. Also runs inside `make test`; kept
+# addressable so CI gates on it explicitly.
+conformance:
+	$(GO) test -race -run 'TestConformance' -v .
+
+# Coverage summary: full short-suite profile plus the per-function table
+# CI uploads as an artifact.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tee coverage.txt
 
 # Compile and run every benchmark once — catches rotted benchmark code
 # without paying for real measurements.

@@ -4,10 +4,11 @@
 //
 // It exposes three capabilities:
 //
-//   - Factorize / Solve: run the COnfLUX near-communication-optimal LU
-//     factorization (or any of the paper's baselines) on a simulated
-//     P-rank distributed machine, with numeric results gathered at the
-//     caller.
+//   - Factorize / Solve / SolveMany: run the COnfLUX near-communication-
+//     optimal LU factorization (or any of the paper's baselines) and the
+//     distributed multi-RHS triangular solve on a simulated P-rank
+//     machine, with numeric results gathered at the caller and both
+//     phases metered and timed (DESIGN.md §8).
 //   - CommVolume: replay any algorithm's communication schedule in volume
 //     mode and return the metered traffic — the paper's measurement
 //     methodology (§8).
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/blas"
 	"repro/internal/cholesky"
 	"repro/internal/conflux"
 	"repro/internal/costmodel"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/oocore"
 	"repro/internal/smpi"
 	"repro/internal/trace"
+	"repro/internal/trisolve"
 	"repro/internal/xpart"
 )
 
@@ -87,6 +90,17 @@ type Options struct {
 	// an all-free machine is therefore not expressible here; set one
 	// parameter nonzero (e.g. Alpha: 0, Beta: 1e-30) to isolate a term.
 	Machine Machine
+	// SolveRanks is the number of simulated ranks the distributed
+	// triangular solve runs on (default: Ranks). The solve uses a 2D
+	// grid over all SolveRanks, independent of the factorization grid.
+	SolveRanks int
+	// RHS is the number of right-hand sides volume-mode solve replays
+	// generate (default 1). Numeric solves infer the width from B.
+	RHS int
+	// RefineSweeps bounds the iterative-refinement loop of Solve and
+	// SolveMany: after the direct solve, up to RefineSweeps rounds of
+	// residual recomputation and distributed re-solve (default 0: none).
+	RefineSweeps int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -104,6 +118,12 @@ func (o Options) withDefaults(n int) Options {
 	}
 	if o.Machine == (Machine{}) {
 		o.Machine = DefaultMachine()
+	}
+	if o.SolveRanks <= 0 {
+		o.SolveRanks = o.Ranks
+	}
+	if o.RHS <= 0 {
+		o.RHS = 1
 	}
 	return o
 }
@@ -127,6 +147,23 @@ type Result struct {
 	// CommTime is the critical rank's pure transfer time (α+β·bytes work,
 	// excluding waits): Time = CommTime + critical-rank wait.
 	CommTime float64
+	// SolveVolume is the communication report of the most recent
+	// distributed solve run on these factors (nil until one runs). Its
+	// timed phases are trisolve's "solve.fwd" and "solve.back"; the RHS
+	// scatter and solution gather are labeled layout/collect and excluded,
+	// mirroring the factorization accounting.
+	SolveVolume *VolumeReport
+	// SolveBytes accumulates the solve-phase traffic (forward plus back
+	// substitution bytes) across every distributed solve on this Result.
+	SolveBytes int64
+	// SolveTime accumulates the simulated α-β makespans of the
+	// distributed solves on this Result, in seconds.
+	SolveTime float64
+
+	// opts records the factorization run configuration; nil marks a
+	// hand-assembled Result, for which solves fall back to the local
+	// sequential substitution.
+	opts *Options
 }
 
 // Factorize runs a distributed LU factorization of a (n×n) on a simulated
@@ -157,6 +194,7 @@ func Factorize(a *Matrix, opts Options) (*Result, error) {
 	out.Volume = rep
 	out.Time = rep.Time.Makespan
 	out.CommTime = rep.Time.CritBusy()
+	out.opts = &o
 	return out, nil
 }
 
@@ -196,19 +234,65 @@ func runAlgorithm(c *smpi.Comm, a *Matrix, n int, o Options) (*Matrix, []int, er
 }
 
 // Solve factorizes a and solves a·x = b, returning x. It uses COnfLUX
-// unless opts selects another algorithm.
+// unless opts selects another algorithm; the triangular solve runs
+// distributed on opts.SolveRanks simulated ranks, with opts.RefineSweeps
+// rounds of iterative refinement.
 func Solve(a *Matrix, b []float64, opts Options) ([]float64, error) {
 	if a == nil || a.Rows != a.Cols || len(b) != a.Rows {
 		return nil, fmt.Errorf("conflux: Solve shape mismatch")
 	}
-	res, err := Factorize(a, opts)
+	bm := mat.FromSlice(len(b), 1, append([]float64(nil), b...))
+	x, _, err := SolveMany(a, bm, opts)
 	if err != nil {
 		return nil, err
 	}
-	return res.SolveFactored(b)
+	out := make([]float64, len(b))
+	for i := range out {
+		out[i] = x.At(i, 0)
+	}
+	return out, nil
 }
 
-// SolveFactored solves a·x = b using already-computed factors.
+// SolveMany factorizes a and solves a·X = B for every column of B at once
+// on the distributed machine, returning X and the factorization Result
+// (whose SolveVolume/SolveBytes/SolveTime fields report the metered solve
+// phase). With opts.RefineSweeps > 0, each sweep recomputes the residual
+// R = B − A·X and re-solves distributed for the correction, stopping early
+// once the residual is at rounding level.
+func SolveMany(a, b *Matrix, opts Options) (*Matrix, *Result, error) {
+	if a == nil || a.Rows != a.Cols || b == nil || b.Rows != a.Rows {
+		return nil, nil, fmt.Errorf("conflux: SolveMany shape mismatch")
+	}
+	res, err := Factorize(a, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := res.SolveManyFactored(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	o := opts.withDefaults(a.Rows)
+	normB := mat.NormInf(b)
+	for s := 0; s < o.RefineSweeps; s++ {
+		resid := b.Clone()
+		blas.Gemm(-1, a, x, 1, resid)
+		if mat.NormInf(resid) <= 1e-14*normB {
+			break
+		}
+		d, err := res.SolveManyFactored(resid)
+		if err != nil {
+			return nil, nil, err
+		}
+		x.AddFrom(d)
+	}
+	return x, res, nil
+}
+
+// SolveFactored solves a·x = b using already-computed factors. Results
+// produced by Factorize delegate to the distributed solve (metered into
+// r.SolveVolume/SolveBytes/SolveTime); hand-assembled Results fall back to
+// a local sequential substitution. Either path reports an error on a
+// singular factor (zero U diagonal) instead of producing Inf/NaN.
 func (r *Result) SolveFactored(b []float64) ([]float64, error) {
 	n := len(r.Perm)
 	if len(b) != n {
@@ -217,6 +301,86 @@ func (r *Result) SolveFactored(b []float64) ([]float64, error) {
 	if r.LU == nil || r.LU.Phantom() {
 		return nil, fmt.Errorf("conflux: factors unavailable (volume-mode run?)")
 	}
+	if r.opts == nil {
+		return r.solveSequential(b)
+	}
+	bm := mat.FromSlice(n, 1, append([]float64(nil), b...))
+	x, err := r.SolveManyFactored(bm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = x.At(i, 0)
+	}
+	return out, nil
+}
+
+// SolveManyFactored solves a·X = B (B is n×nrhs) using already-computed
+// factors. For Results produced by Factorize the solve runs distributed on
+// SolveRanks simulated ranks under the recorded α-β machine; the run's
+// volume report replaces r.SolveVolume and its solve-phase bytes and
+// makespan accumulate into r.SolveBytes / r.SolveTime. Not safe for
+// concurrent use on one Result.
+func (r *Result) SolveManyFactored(b *Matrix) (*Matrix, error) {
+	n := len(r.Perm)
+	if b == nil || b.Rows != n || b.Cols < 1 {
+		return nil, fmt.Errorf("conflux: SolveManyFactored rhs shape mismatch")
+	}
+	if r.LU == nil || r.LU.Phantom() {
+		return nil, fmt.Errorf("conflux: factors unavailable (volume-mode run?)")
+	}
+	if r.opts == nil {
+		x := mat.New(n, b.Cols)
+		col := make([]float64, n)
+		for j := 0; j < b.Cols; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.At(i, j)
+			}
+			xj, err := r.solveSequential(col)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				x.Set(i, j, xj[i])
+			}
+		}
+		return x, nil
+	}
+	o := *r.opts
+	pb := mat.PermuteRows(b, r.Perm)
+	opt := trisolve.DefaultOptions(n, o.SolveRanks, b.Cols)
+	var x *Matrix
+	rep, err := smpi.RunTimeoutMachine(opt.Grid.Total, true, o.Machine, o.Timeout, func(c *smpi.Comm) error {
+		var lu, rhs *mat.Matrix
+		if c.Rank() == 0 {
+			lu, rhs = r.LU, pb
+		}
+		res, err := trisolve.Run(c, lu, rhs, opt)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			x = res.X
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if x == nil {
+		return nil, fmt.Errorf("conflux: no solution gathered at rank 0")
+	}
+	r.SolveVolume = rep
+	r.SolveBytes += rep.ByPhase[trisolve.PhaseFwd] + rep.ByPhase[trisolve.PhaseBack]
+	r.SolveTime += rep.Time.Makespan
+	return x, nil
+}
+
+// solveSequential is the local O(n²) substitution used for hand-assembled
+// Results (no recorded run configuration to rebuild a simulated world from).
+func (r *Result) solveSequential(b []float64) ([]float64, error) {
+	n := len(r.Perm)
 	x := make([]float64, n)
 	for i, p := range r.Perm {
 		x[i] = b[p]
@@ -233,6 +397,9 @@ func (r *Result) SolveFactored(b []float64) ([]float64, error) {
 	// Back substitution U·x = y.
 	for i := n - 1; i >= 0; i-- {
 		row := r.LU.Row(i)
+		if row[i] == 0 {
+			return nil, fmt.Errorf("conflux: singular factor: zero pivot on row %d", i)
+		}
 		s := x[i]
 		for k := i + 1; k < n; k++ {
 			s -= row[k] * x[k]
@@ -257,6 +424,51 @@ func CommVolumeMachine(algo Algorithm, n, p int, memory float64, m Machine) (*Vo
 	rep, err := smpi.RunTimeoutMachine(o.Ranks, false, o.Machine, o.Timeout, func(c *smpi.Comm) error {
 		_, _, err := runAlgorithm(c, nil, n, o)
 		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// CommVolumeSolve replays a full factorize-plus-solve schedule at dimension
+// n in volume mode on one simulated world: the selected algorithm's
+// factorization on opts.Ranks, then the distributed triangular solve with
+// opts.RHS right-hand sides on opts.SolveRanks — the same rank counts the
+// numeric Solve/SolveMany path uses. The returned report carries the
+// factorization phases alongside "solve.fwd"/"solve.back", so the
+// end-to-end communication volume and simulated α-β time of a solver
+// workload can be read off one run.
+func CommVolumeSolve(n int, opts Options) (*VolumeReport, error) {
+	o := opts.withDefaults(n)
+	sopt := trisolve.DefaultOptions(n, o.SolveRanks, o.RHS)
+	world := o.Ranks
+	if o.SolveRanks > world {
+		world = o.SolveRanks
+	}
+	// Each phase runs on its own prefix sub-communicator, so the grids see
+	// exactly the rank counts the numeric path gives them (grid ranks ==
+	// world ranks, which the engines' sub-grid construction relies on).
+	prefix := func(p int) []int {
+		out := make([]int, p)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	factorComm, solveComm := prefix(o.Ranks), prefix(o.SolveRanks)
+	rep, err := smpi.RunTimeoutMachine(world, false, o.Machine, o.Timeout, func(c *smpi.Comm) error {
+		if c.Rank() < o.Ranks {
+			if _, _, err := runAlgorithm(c.Sub("factor", factorComm), nil, n, o); err != nil {
+				return err
+			}
+		}
+		if c.Rank() < o.SolveRanks {
+			if _, err := trisolve.Run(c.Sub("solve", solveComm), nil, nil, sopt); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err

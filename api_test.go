@@ -2,20 +2,16 @@ package conflux
 
 import (
 	"math"
+	"strings"
 	"testing"
 
-	"repro/internal/blas"
-	"repro/internal/lapack"
 	"repro/internal/mat"
+	"repro/internal/testutil"
+	"repro/internal/trisolve"
 )
 
 func residual(a, lu *Matrix, perm []int) float64 {
-	n := a.Rows
-	l, u := lapack.SplitLU(lu)
-	prod := mat.New(n, n)
-	blas.Gemm(1, l, u, 0, prod)
-	pa := mat.PermuteRows(a, perm)
-	return mat.MaxAbsDiff(pa, prod) / (mat.NormInf(a)*float64(n) + 1)
+	return testutil.ResidualLUPerm(a, lu, perm)
 }
 
 func TestFactorizeAllAlgorithms(t *testing.T) {
@@ -106,6 +102,171 @@ func TestSolveFactoredReuse(t *testing.T) {
 				t.Fatalf("seed %d: residual at %d: %v", seed, i, s-b[i])
 			}
 		}
+	}
+}
+
+// TestSolveManyPropertyAndDeterminism is the solve-path property test:
+// random A, random multi-RHS B, backward error below tolerance, and the
+// solve volume/time reports bit-deterministic across repetitions.
+func TestSolveManyPropertyAndDeterminism(t *testing.T) {
+	n, nrhs := 96, 5
+	a := mat.Random(n, n, 71) // general matrix: the factors carry real pivoting
+	b := mat.Random(n, nrhs, 72)
+	x, res, err := SolveMany(a, b, Options{Ranks: 6, SolveRanks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be := testutil.SolveBackwardError(a, x, b); be > 1e-9 {
+		t.Fatalf("backward error %v", be)
+	}
+	if res.SolveBytes <= 0 || res.SolveTime <= 0 || res.SolveVolume == nil {
+		t.Fatalf("solve not metered: bytes=%d time=%v", res.SolveBytes, res.SolveTime)
+	}
+	fwd := res.SolveVolume.ByPhase[trisolve.PhaseFwd]
+	back := res.SolveVolume.ByPhase[trisolve.PhaseBack]
+	if fwd <= 0 || back <= 0 {
+		t.Fatalf("solve phases missing: %v", res.SolveVolume.ByPhase)
+	}
+	// Repeat the identical solve: metered bytes and simulated makespan must
+	// accumulate by bit-identical increments.
+	bytes1, time1 := res.SolveBytes, res.SolveTime
+	if _, err := res.SolveManyFactored(b); err != nil {
+		t.Fatal(err)
+	}
+	if res.SolveBytes != 2*bytes1 || res.SolveTime != 2*time1 {
+		t.Fatalf("solve replay not deterministic: %d/%v then %d/%v",
+			bytes1, time1, res.SolveBytes-bytes1, res.SolveTime-time1)
+	}
+}
+
+// TestSolveRanksIndependentOfFactorRanks: the solve phase may run on a
+// different simulated machine size than the factorization.
+func TestSolveRanksIndependentOfFactorRanks(t *testing.T) {
+	n := 64
+	a := RandomMatrix(n, 9)
+	b := mat.Random(n, 2, 10)
+	x, res, err := SolveMany(a, b, Options{Ranks: 4, SolveRanks: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be := testutil.SolveBackwardError(a, x, b); be > 1e-10 {
+		t.Fatalf("backward error %v", be)
+	}
+	if res.SolveVolume.P != 9 {
+		t.Fatalf("solve world size %d, want 9", res.SolveVolume.P)
+	}
+}
+
+// TestSolveRefinement: bounded iterative refinement keeps the answer at
+// direct-solve quality (or better) and meters every extra distributed sweep.
+func TestSolveRefinement(t *testing.T) {
+	n := 80
+	a := mat.Random(n, n, 33)
+	b := mat.Random(n, 3, 34)
+	direct, dres, err := SolveMany(a, b, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, rres, err := SolveMany(a, b, Options{Ranks: 4, RefineSweeps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beDirect := testutil.SolveBackwardError(a, direct, b)
+	beRefined := testutil.SolveBackwardError(a, refined, b)
+	if beRefined > beDirect*10 || beRefined > 1e-10 {
+		t.Fatalf("refined backward error %v vs direct %v", beRefined, beDirect)
+	}
+	if rres.SolveTime < dres.SolveTime {
+		t.Fatalf("refinement sweeps unmetered: %v < %v", rres.SolveTime, dres.SolveTime)
+	}
+}
+
+// TestSolveFactoredSingular pins the zero-pivot satellite on both solve
+// paths: the sequential fallback and the distributed engine must report a
+// singular factor instead of silently producing Inf/NaN.
+func TestSolveFactoredSingular(t *testing.T) {
+	n := 8
+	lu := NewMatrix(n, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+		lu.Set(i, i, 1)
+	}
+	lu.Set(5, 5, 0) // singular U
+	hand := &Result{LU: lu, Perm: perm}
+	if _, err := hand.SolveFactored(make([]float64, n)); err == nil || !strings.Contains(err.Error(), "singular factor") {
+		t.Fatalf("sequential path: err = %v", err)
+	}
+
+	a := RandomMatrix(32, 13)
+	res, err := Factorize(a, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.LU.Set(17, 17, 0) // corrupt one U pivot
+	if _, err := res.SolveFactored(make([]float64, 32)); err == nil || !strings.Contains(err.Error(), "singular factor") {
+		t.Fatalf("distributed path: err = %v", err)
+	}
+}
+
+// TestCommVolumeSolveEndToEnd: one volume-mode world replays factorization
+// plus the distributed solve; the report carries both phase families, scales
+// linearly in Options.RHS, and is deterministic.
+func TestCommVolumeSolveEndToEnd(t *testing.T) {
+	n := 128
+	one, err := CommVolumeSolve(n, Options{Ranks: 8, RHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := CommVolumeSolve(n, Options{Ranks: 8, RHS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveBytes := func(rep *VolumeReport) int64 {
+		return rep.ByPhase[trisolve.PhaseFwd] + rep.ByPhase[trisolve.PhaseBack]
+	}
+	if solveBytes(one) <= 0 {
+		t.Fatalf("no solve traffic: %v", one.ByPhase)
+	}
+	if got := solveBytes(four); got != 4*solveBytes(one) {
+		t.Fatalf("solve bytes %d not 4x %d", got, solveBytes(one))
+	}
+	if AlgorithmBytes(one) <= solveBytes(one) {
+		t.Fatal("factorization phases missing from the end-to-end report")
+	}
+	again, err := CommVolumeSolve(n, Options{Ranks: 8, RHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TotalBytes() != one.TotalBytes() || again.Time.Makespan != one.Time.Makespan {
+		t.Fatal("end-to-end replay not deterministic")
+	}
+}
+
+// TestCommVolumeSolveHonorsSolveRanks: the volume replay must put the solve
+// phase on Options.SolveRanks like the numeric path, not on Ranks. At
+// SolveRanks=4 (2x2 grid) each pass moves (2+2-2)·N·NRHS elements.
+func TestCommVolumeSolveHonorsSolveRanks(t *testing.T) {
+	n, nrhs := 128, 2
+	rep, err := CommVolumeSolve(n, Options{Ranks: 8, SolveRanks: 4, RHS: nrhs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2 * n * nrhs * 8)
+	if rep.ByPhase[trisolve.PhaseFwd] != want || rep.ByPhase[trisolve.PhaseBack] != want {
+		t.Fatalf("fwd=%d back=%d want %d", rep.ByPhase[trisolve.PhaseFwd], rep.ByPhase[trisolve.PhaseBack], want)
+	}
+	// SolveRanks larger than Ranks grows the world to fit both phases.
+	big, err := CommVolumeSolve(n, Options{Ranks: 4, SolveRanks: 9, RHS: nrhs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.P != 9 {
+		t.Fatalf("world size %d, want 9", big.P)
+	}
+	wantBig := int64((3 + 3 - 2) * n * nrhs * 8) // 3x3 grid
+	if big.ByPhase[trisolve.PhaseFwd] != wantBig {
+		t.Fatalf("fwd=%d want %d", big.ByPhase[trisolve.PhaseFwd], wantBig)
 	}
 }
 
@@ -202,28 +363,9 @@ func TestFactorizeSPD(t *testing.T) {
 	if rep.TotalBytes() == 0 {
 		t.Fatal("no volume metered")
 	}
-	var worst float64
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			for k := 0; k <= min(i, j); k++ {
-				s += l.At(i, k) * l.At(j, k)
-			}
-			if d := math.Abs(s - a.At(i, j)); d > worst {
-				worst = d
-			}
-		}
+	if r := testutil.ResidualCholesky(a, l); r > 1e-10 {
+		t.Fatalf("Cholesky residual %v", r)
 	}
-	if worst > 1e-8*mat.NormInf(a) {
-		t.Fatalf("Cholesky residual %v", worst)
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func TestFactorizeOutOfCore(t *testing.T) {

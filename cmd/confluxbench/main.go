@@ -40,6 +40,9 @@ type scale struct {
 	fig7Measured     int
 	ablN, ablP       int
 	smokeN, smokeP   int
+	solveN           int
+	solveP           []int
+	solveNRHS        int
 }
 
 var scales = map[string]scale{
@@ -50,6 +53,7 @@ var scales = map[string]scale{
 		fig7N: []int{128, 256}, fig7P: []int{4, 16, 4096, 262144}, fig7Measured: 64,
 		ablN: 192, ablP: 8,
 		smokeN: 256, smokeP: 16,
+		solveN: 256, solveP: []int{4, 8, 12, 16, 32}, solveNRHS: 8,
 	},
 	"medium": {
 		table2N: []int{512, 1024}, table2P: []int{16, 64},
@@ -58,6 +62,7 @@ var scales = map[string]scale{
 		fig7N: []int{512, 1024}, fig7P: []int{16, 64, 256, 4096, 65536}, fig7Measured: 256,
 		ablN: 512, ablP: 32,
 		smokeN: 1024, smokeP: 64,
+		solveN: 1024, solveP: []int{4, 16, 64, 128}, solveNRHS: 16,
 	},
 	"paper": {
 		table2N: []int{4096, 16384}, table2P: []int{64, 1024},
@@ -66,11 +71,12 @@ var scales = map[string]scale{
 		fig7N: []int{4096, 8192, 16384}, fig7P: []int{64, 256, 1024, 16384, 27648, 262144}, fig7Measured: 1024,
 		ablN: 4096, ablP: 64,
 		smokeN: 4096, smokeP: 64,
+		solveN: 16384, solveP: []int{64, 256, 1024}, solveNRHS: 64,
 	},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | smoke | all")
+	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | all")
 	sc := flag.String("scale", "small", "scale preset: small | medium | paper")
 	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
 	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
@@ -78,6 +84,7 @@ func main() {
 	alpha := flag.Float64("alpha", bench.Machine.Alpha, "α: per-message latency of the simulated machine (seconds)")
 	beta := flag.Float64("beta", bench.Machine.Beta, "β: per-byte transfer cost of the simulated machine (seconds/byte)")
 	jsonOut := flag.String("json", "", "with -exp smoke: write the machine-readable record to this path")
+	solveNRHS := flag.Int("nrhs", 0, "with -exp solve: override the scale preset's right-hand-side count")
 	flag.Parse()
 	bench.Machine = costmodel.Machine{Alpha: *alpha, Beta: *beta}
 	writeCSV := func(name string, f func(w *os.File) error) {
@@ -195,6 +202,19 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *jsonOut)
 		}
+		return nil
+	})
+	run("solve", func(s scale) error {
+		nrhs := s.solveNRHS
+		if *solveNRHS > 0 {
+			nrhs = *solveNRHS
+		}
+		res, err := bench.RunSolve(s.solveN, s.solveP, nrhs)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		writeCSV("solve.csv", func(w *os.File) error { return res.WriteCSV(w) })
 		return nil
 	})
 	run("sweep", func(s scale) error {

@@ -140,6 +140,39 @@ func TestTrsmLowerLeft(t *testing.T) {
 	}
 }
 
+func TestTrsmUpperLeft(t *testing.T) {
+	n := 6
+	u := mat.New(n, n)
+	g := mat.NewRNG(11)
+	for i := 0; i < n; i++ {
+		u.Set(i, i, 1+g.Float64())
+		for j := i + 1; j < n; j++ {
+			u.Set(i, j, g.Float64()-0.5)
+		}
+	}
+	x := mat.Random(n, 3, 8)
+	b := mat.New(n, 3)
+	Gemm(1, u, x, 0, b)
+	TrsmUpperLeft(u, b)
+	if d := mat.MaxAbsDiff(b, x); d > 1e-10 {
+		t.Fatalf("trsm diff %v", d)
+	}
+	// The kernel must ignore the strict lower triangle: diagonal tiles of
+	// combined LU factors are passed whole.
+	full := u.Clone()
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			full.Set(i, j, g.Float64())
+		}
+	}
+	b2 := mat.New(n, 3)
+	Gemm(1, u, x, 0, b2)
+	TrsmUpperLeft(full, b2)
+	if d := mat.MaxAbsDiff(b2, x); d > 1e-10 {
+		t.Fatalf("combined-tile trsm diff %v", d)
+	}
+}
+
 func TestTrsmUpperRight(t *testing.T) {
 	n := 5
 	u := mat.New(n, n)

@@ -109,6 +109,38 @@ func TrsmLowerLeft(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
 	}
 }
 
+// TrsmUpperLeft solves U*X = B in place (B becomes X) where U is upper
+// triangular (non-unit diagonal). This is the back-substitution kernel of the
+// distributed solve: diagonal blocks of the combined LU factors are passed
+// whole, and only their upper triangle (diagonal included) is read.
+func TrsmUpperLeft(u *mat.Matrix, b *mat.Matrix) {
+	if u.Rows != u.Cols || u.Rows != b.Rows {
+		panic("blas: TrsmUpperLeft shape mismatch")
+	}
+	if u.Phantom() || b.Phantom() {
+		return
+	}
+	n := u.Rows
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Row(i)
+		ui := u.Row(i)
+		for k := i + 1; k < n; k++ {
+			uik := ui[k]
+			if uik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range bi {
+				bi[j] -= uik * bk[j]
+			}
+		}
+		inv := 1 / ui[i]
+		for j := range bi {
+			bi[j] *= inv
+		}
+	}
+}
+
 // TrsmUpperRight solves X*U = B in place (B becomes X) where U is upper
 // triangular (non-unit diagonal). This is the "FactorizeA10" kernel: rows of
 // the column panel are solved against U00.

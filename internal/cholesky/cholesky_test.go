@@ -8,46 +8,18 @@ import (
 	"repro/internal/grid"
 	"repro/internal/mat"
 	"repro/internal/smpi"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 	"repro/internal/xpart"
 )
 
 const testTimeout = 60 * time.Second
 
-// spd builds a deterministic symmetric positive definite matrix.
-func spd(n int, seed uint64) *mat.Matrix {
-	g := mat.Random(n, n, seed)
-	a := mat.New(n, n)
-	// A = G·Gᵀ + n·I
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			var s float64
-			for k := 0; k < n; k++ {
-				s += g.At(i, k) * g.At(j, k)
-			}
-			a.Set(i, j, s)
-			a.Set(j, i, s)
-		}
-		a.Add(i, i, float64(n))
-	}
-	return a
-}
+// spd and residual are the shared testutil helpers (deduped there so the
+// conformance and solve suites check the same definitions).
+func spd(n int, seed uint64) *mat.Matrix { return testutil.SPD(n, seed) }
 
-// residual computes ‖A − L·Lᵀ‖∞ / (‖A‖∞·N).
-func residual(a, l *mat.Matrix) float64 {
-	n := a.Rows
-	prod := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			for k := 0; k <= min(i, j); k++ {
-				s += l.At(i, k) * l.At(j, k)
-			}
-			prod.Set(i, j, s)
-		}
-	}
-	return mat.MaxAbsDiff(a, prod) / (mat.NormInf(a)*float64(n) + 1)
-}
+func residual(a, l *mat.Matrix) float64 { return testutil.ResidualCholesky(a, l) }
 
 func min(a, b int) int {
 	if a < b {

@@ -1,6 +1,7 @@
-// Package testutil holds verification helpers shared by the distributed LU
-// test suites: residual checks against the definition ‖A[perm,:] − L·U‖ and
-// reference sequential factorizations.
+// Package testutil holds verification helpers shared by the distributed LU,
+// Cholesky, and solve test suites: residual and backward-error checks
+// against the definitions ‖A[perm,:] − L·U‖, ‖A − L·Lᵀ‖, and ‖A·X − B‖,
+// reference sequential factorizations, and deterministic test inputs.
 package testutil
 
 import (
@@ -33,6 +34,54 @@ func ResidualLUPerm(orig, lu *mat.Matrix, perm []int) float64 {
 	blas.Gemm(1, l, u, 0, prod)
 	pa := mat.PermuteRows(orig, perm)
 	return mat.MaxAbsDiff(pa, prod) / (mat.NormInf(orig)*float64(n) + 1)
+}
+
+// ResidualCholesky computes ‖A − L·Lᵀ‖∞ / (‖A‖∞·N) for a lower Cholesky
+// factor L of A.
+func ResidualCholesky(a, l *mat.Matrix) float64 {
+	n := a.Rows
+	prod := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := i
+			if j < k {
+				k = j
+			}
+			var s float64
+			for d := 0; d <= k; d++ {
+				s += l.At(i, d) * l.At(j, d)
+			}
+			prod.Set(i, j, s)
+		}
+	}
+	return mat.MaxAbsDiff(a, prod) / (mat.NormInf(a)*float64(n) + 1)
+}
+
+// SolveBackwardError computes the normwise backward error of a solve,
+// ‖A·X − B‖∞ / (‖A‖∞·‖X‖∞·N + ‖B‖∞), for multi-column X and B.
+func SolveBackwardError(a, x, b *mat.Matrix) float64 {
+	resid := b.Clone()
+	blas.Gemm(-1, a, x, 1, resid)
+	return mat.NormInf(resid) / (mat.NormInf(a)*mat.NormInf(x)*float64(a.Rows) + mat.NormInf(b))
+}
+
+// SPD returns a deterministic symmetric positive definite matrix
+// A = G·Gᵀ + n·I from a random seed.
+func SPD(n int, seed uint64) *mat.Matrix {
+	g := mat.Random(n, n, seed)
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += g.At(i, k) * g.At(j, k)
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+		a.Add(i, i, float64(n))
+	}
+	return a
 }
 
 // ReferenceLU returns the sequential in-place LU and ipiv of a copy of a.
