@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full vet fmt-check bench-smoke bench-json conformance cover ci
+.PHONY: all build test test-full vet fmt-check apicheck bench-smoke bench-json conformance cover ci
 
 all: ci
 
@@ -21,6 +21,13 @@ test-full:
 vet:
 	$(GO) vet ./...
 
+# API-surface gate: go vet plus scripts/apicheck.sh, which compiles the
+# deprecated v1 wrappers against api_test.go's v1 usage and asserts the v2
+# Session surface, the typed error sentinels, and the absence of an engine
+# dispatch switch in api.go.
+apicheck: vet
+	sh scripts/apicheck.sh
+
 fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -29,10 +36,15 @@ fmt-check:
 
 # Cross-engine conformance suite under the race detector: all four LU
 # engines plus Cholesky on shared seeds, at non-power-of-two rank counts,
-# feeding the distributed solve. Also runs inside `make test`; kept
-# addressable so CI gates on it explicitly.
+# feeding the distributed solve — running on the v2 Session surface, so it
+# drives every engine through the internal/engine registry. The coverage
+# profile of that registry is written to conformance_engine.out and
+# uploaded by CI. Also runs inside `make test`; kept addressable so CI
+# gates on it explicitly.
 conformance:
-	$(GO) test -race -run 'TestConformance' -v .
+	$(GO) test -race -run 'TestConformance' -v \
+		-coverprofile=conformance_engine.out -coverpkg=repro/internal/engine .
+	$(GO) tool cover -func=conformance_engine.out
 
 # Coverage summary: full short-suite profile plus the per-function table
 # CI uploads as an artifact.
@@ -51,4 +63,4 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/confluxbench -exp smoke -json BENCH_smoke.json
 
-ci: fmt-check vet build test
+ci: fmt-check apicheck build test

@@ -2,33 +2,38 @@
 // "On the Parallel I/O Optimality of Linear Algebra Kernels: Near-Optimal LU
 // Factorization" (Kwasniewski et al., PPoPP 2021).
 //
-// It exposes three capabilities:
+// The v2 surface is Session-based: conflux.New constructs a handle on one
+// simulated machine configuration via functional options, and its methods —
+// Factorize, Solve/SolveMany, CommVolume, CommVolumeSolve, FactorizeSPD —
+// run jobs against it under a context.Context:
 //
-//   - Factorize / Solve / SolveMany: run the COnfLUX near-communication-
-//     optimal LU factorization (or any of the paper's baselines) and the
+//   - Factorize / Solve / SolveMany run the COnfLUX near-communication-
+//     optimal LU factorization (or any registered engine) and the
 //     distributed multi-RHS triangular solve on a simulated P-rank
 //     machine, with numeric results gathered at the caller and both
 //     phases metered and timed (DESIGN.md §8).
-//   - CommVolume: replay any algorithm's communication schedule in volume
-//     mode and return the metered traffic — the paper's measurement
+//   - CommVolume replays an engine's communication schedule in volume
+//     mode and returns the metered traffic — the paper's measurement
 //     methodology (§8).
-//   - LowerBoundLU and friends: the X-Partitioning I/O lower bounds of
-//     §3–§6.
+//   - LowerBoundLU and friends expose the X-Partitioning I/O lower bounds
+//     of §3–§6.
+//
+// Engines dispatch through internal/engine's registry (DESIGN.md §9);
+// failures carry the typed sentinels ErrShape, ErrSingular,
+// ErrUnknownAlgorithm, and ErrCanceled for errors.Is. The original free
+// functions (Factorize, SolveMany, CommVolume, ...) remain as deprecated
+// thin wrappers over a one-shot Session.
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
 package conflux
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
-	"repro/internal/blas"
-	"repro/internal/cholesky"
-	"repro/internal/conflux"
 	"repro/internal/costmodel"
-	"repro/internal/lapack"
-	"repro/internal/lu25d"
-	"repro/internal/lu2d"
 	"repro/internal/mat"
 	"repro/internal/oocore"
 	"repro/internal/smpi"
@@ -50,6 +55,8 @@ type TimeReport = trace.TimeReport
 
 // Machine is the α-β (latency–bandwidth) machine parameter set the
 // simulated clocks advance with (re-exported from internal/costmodel).
+// Its IsZero method distinguishes "unset" from the meaningful all-free
+// machine, which sessions request explicitly with WithFreeMachine.
 type Machine = costmodel.Machine
 
 // DefaultMachine returns paper-scale interconnect parameters (Piz
@@ -63,18 +70,26 @@ func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
 // boosted so factorizations are well conditioned.
 func RandomMatrix(n int, seed uint64) *Matrix { return mat.RandomDiagDominant(n, seed) }
 
-// Algorithm names one of the paper's four measured implementations.
+// Algorithm names a registered engine (re-exported).
 type Algorithm = costmodel.Algorithm
 
-// The four algorithms of the paper's evaluation (Table 2).
+// The registered engines: the four algorithms of the paper's evaluation
+// (Table 2) plus the Cholesky extension kernel. Engines() lists the set at
+// runtime.
 const (
-	COnfLUX = costmodel.COnfLUX
-	CANDMC  = costmodel.CANDMC
-	LibSci  = costmodel.LibSci
-	SLATE   = costmodel.SLATE
+	COnfLUX  = costmodel.COnfLUX
+	CANDMC   = costmodel.CANDMC
+	LibSci   = costmodel.LibSci
+	SLATE    = costmodel.SLATE
+	Cholesky = costmodel.Cholesky
 )
 
 // Options configures a distributed factorization.
+//
+// Deprecated: Options is the v1 configuration surface. Use New with
+// functional options (WithRanks, WithAlgorithm, WithMachine, ...) — note
+// the v1 zero-value rule below makes an all-free machine inexpressible
+// here, which WithFreeMachine fixes.
 type Options struct {
 	// Ranks is the number of simulated processors P (default 4).
 	Ranks int
@@ -85,10 +100,10 @@ type Options struct {
 	Algorithm Algorithm
 	// Timeout bounds the simulated run (default 10 minutes).
 	Timeout time.Duration
-	// Machine sets the α-β parameters of the simulated-time model. The
-	// zero value selects DefaultMachine() (paper-scale interconnect) —
-	// an all-free machine is therefore not expressible here; set one
-	// parameter nonzero (e.g. Alpha: 0, Beta: 1e-30) to isolate a term.
+	// Machine sets the α-β parameters of the simulated-time model. For
+	// v1 compatibility the zero value (Machine.IsZero) selects
+	// DefaultMachine() — an all-free machine is therefore not expressible
+	// here; use a Session with WithFreeMachine for that.
 	Machine Machine
 	// SolveRanks is the number of simulated ranks the distributed
 	// triangular solve runs on (default: Ranks). The solve uses a 2D
@@ -116,7 +131,7 @@ func (o Options) withDefaults(n int) Options {
 	if o.Timeout <= 0 {
 		o.Timeout = 10 * time.Minute
 	}
-	if o.Machine == (Machine{}) {
+	if o.Machine.IsZero() {
 		o.Machine = DefaultMachine()
 	}
 	if o.SolveRanks <= 0 {
@@ -128,7 +143,30 @@ func (o Options) withDefaults(n int) Options {
 	return o
 }
 
+// session resolves the v1 options at dimension n into a one-shot Session —
+// the single code path both API generations run on, which is what pins the
+// v1 wrappers byte-identical to the v2 surface.
+func (o Options) session(n int) (*Session, error) {
+	od := o.withDefaults(n)
+	return New(
+		WithRanks(od.Ranks),
+		WithMemory(od.Memory),
+		WithAlgorithm(od.Algorithm),
+		WithMachine(od.Machine),
+		WithSolveRanks(od.SolveRanks),
+		WithRHS(od.RHS),
+		WithRefineSweeps(od.RefineSweeps),
+		WithTimeout(od.Timeout),
+	)
+}
+
 // Result is the outcome of a distributed factorization.
+//
+// Concurrency: the factor fields (LU, Perm, Volume, Time, CommTime) are
+// written once by Factorize and safe for concurrent reads afterwards.
+// Concurrent solves on one Result are safe — the solve accounting
+// (SolveVolume, SolveBytes, SolveTime) is mutex-guarded — but those three
+// fields must only be read while no solve is in flight.
 type Result struct {
 	// LU holds the combined factors: row i of LU is row Perm[i] of P·A,
 	// unit-lower L below the diagonal, U on and above.
@@ -160,97 +198,46 @@ type Result struct {
 	// distributed solves on this Result, in seconds.
 	SolveTime float64
 
-	// opts records the factorization run configuration; nil marks a
+	// mu guards the solve accounting above across concurrent solves.
+	mu sync.Mutex
+
+	// sess is the session the factorization ran on; nil marks a
 	// hand-assembled Result, for which solves fall back to the local
 	// sequential substitution.
-	opts *Options
+	sess *Session
 }
 
 // Factorize runs a distributed LU factorization of a (n×n) on a simulated
 // machine and returns the gathered factors. The input is not modified.
+//
+// Deprecated: use New and Session.Factorize, which add context
+// cancellation and amortize the machine configuration across jobs.
 func Factorize(a *Matrix, opts Options) (*Result, error) {
 	if a == nil || a.Rows != a.Cols {
-		return nil, fmt.Errorf("conflux: Factorize requires a square matrix")
+		return nil, fmt.Errorf("%w: Factorize requires a square matrix", ErrShape)
 	}
-	n := a.Rows
-	o := opts.withDefaults(n)
-	var out *Result
-	rep, err := smpi.RunTimeoutMachine(o.Ranks, true, o.Machine, o.Timeout, func(c *smpi.Comm) error {
-		lu, perm, err := runAlgorithm(c, a, n, o)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			out = &Result{LU: lu, Perm: perm}
-		}
-		return nil
-	})
+	s, err := opts.session(a.Rows)
 	if err != nil {
 		return nil, err
 	}
-	if out == nil {
-		return nil, fmt.Errorf("conflux: no result gathered at rank 0")
-	}
-	out.Volume = rep
-	out.Time = rep.Time.Makespan
-	out.CommTime = rep.Time.CritBusy()
-	out.opts = &o
-	return out, nil
-}
-
-func runAlgorithm(c *smpi.Comm, a *Matrix, n int, o Options) (*Matrix, []int, error) {
-	var in *Matrix
-	if c.Rank() == 0 {
-		in = a
-	}
-	switch o.Algorithm {
-	case COnfLUX:
-		res, err := conflux.Run(c, in, conflux.DefaultOptions(n, o.Ranks, o.Memory))
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.LU, res.Perm, nil
-	case CANDMC:
-		res, err := lu25d.Run(c, in, lu25d.CANDMCOptions(n, o.Ranks, o.Memory))
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.LU, res.Perm, nil
-	case LibSci, SLATE:
-		var opt lu2d.Options
-		if o.Algorithm == LibSci {
-			opt = lu2d.LibSciOptions(n, o.Ranks, 32)
-		} else {
-			opt = lu2d.SLATEOptions(n, o.Ranks)
-		}
-		res, err := lu2d.Run(c, in, opt)
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.LU, lapack.PermFromIpiv(res.Ipiv, n), nil
-	default:
-		return nil, nil, fmt.Errorf("conflux: unknown algorithm %q", o.Algorithm)
-	}
+	return s.Factorize(context.Background(), a)
 }
 
 // Solve factorizes a and solves a·x = b, returning x. It uses COnfLUX
 // unless opts selects another algorithm; the triangular solve runs
 // distributed on opts.SolveRanks simulated ranks, with opts.RefineSweeps
 // rounds of iterative refinement.
+//
+// Deprecated: use New and Session.Solve.
 func Solve(a *Matrix, b []float64, opts Options) ([]float64, error) {
 	if a == nil || a.Rows != a.Cols || len(b) != a.Rows {
-		return nil, fmt.Errorf("conflux: Solve shape mismatch")
+		return nil, fmt.Errorf("%w: Solve requires square A and len(b) == n", ErrShape)
 	}
-	bm := mat.FromSlice(len(b), 1, append([]float64(nil), b...))
-	x, _, err := SolveMany(a, bm, opts)
+	s, err := opts.session(a.Rows)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(b))
-	for i := range out {
-		out[i] = x.At(i, 0)
-	}
-	return out, nil
+	return s.Solve(context.Background(), a, b)
 }
 
 // SolveMany factorizes a and solves a·X = B for every column of B at once
@@ -259,53 +246,44 @@ func Solve(a *Matrix, b []float64, opts Options) ([]float64, error) {
 // phase). With opts.RefineSweeps > 0, each sweep recomputes the residual
 // R = B − A·X and re-solves distributed for the correction, stopping early
 // once the residual is at rounding level.
+//
+// Deprecated: use New and Session.SolveMany.
 func SolveMany(a, b *Matrix, opts Options) (*Matrix, *Result, error) {
 	if a == nil || a.Rows != a.Cols || b == nil || b.Rows != a.Rows {
-		return nil, nil, fmt.Errorf("conflux: SolveMany shape mismatch")
+		return nil, nil, fmt.Errorf("%w: SolveMany requires square A and B with B.Rows == n", ErrShape)
 	}
-	res, err := Factorize(a, opts)
+	s, err := opts.session(a.Rows)
 	if err != nil {
 		return nil, nil, err
 	}
-	x, err := res.SolveManyFactored(b)
-	if err != nil {
-		return nil, nil, err
-	}
-	o := opts.withDefaults(a.Rows)
-	normB := mat.NormInf(b)
-	for s := 0; s < o.RefineSweeps; s++ {
-		resid := b.Clone()
-		blas.Gemm(-1, a, x, 1, resid)
-		if mat.NormInf(resid) <= 1e-14*normB {
-			break
-		}
-		d, err := res.SolveManyFactored(resid)
-		if err != nil {
-			return nil, nil, err
-		}
-		x.AddFrom(d)
-	}
-	return x, res, nil
+	return s.SolveMany(context.Background(), a, b)
 }
 
 // SolveFactored solves a·x = b using already-computed factors. Results
 // produced by Factorize delegate to the distributed solve (metered into
 // r.SolveVolume/SolveBytes/SolveTime); hand-assembled Results fall back to
-// a local sequential substitution. Either path reports an error on a
-// singular factor (zero U diagonal) instead of producing Inf/NaN.
+// a local sequential substitution. Either path reports an ErrSingular-
+// wrapped error on a singular factor (zero U diagonal) instead of
+// producing Inf/NaN.
 func (r *Result) SolveFactored(b []float64) ([]float64, error) {
+	return r.SolveFactoredContext(context.Background(), b)
+}
+
+// SolveFactoredContext is SolveFactored under a context: cancellation
+// aborts an in-flight distributed solve with ErrCanceled.
+func (r *Result) SolveFactoredContext(ctx context.Context, b []float64) ([]float64, error) {
 	n := len(r.Perm)
 	if len(b) != n {
-		return nil, fmt.Errorf("conflux: rhs length %d != %d", len(b), n)
+		return nil, fmt.Errorf("%w: rhs length %d != %d", ErrShape, len(b), n)
 	}
 	if r.LU == nil || r.LU.Phantom() {
 		return nil, fmt.Errorf("conflux: factors unavailable (volume-mode run?)")
 	}
-	if r.opts == nil {
+	if r.sess == nil {
 		return r.solveSequential(b)
 	}
 	bm := mat.FromSlice(n, 1, append([]float64(nil), b...))
-	x, err := r.SolveManyFactored(bm)
+	x, err := r.SolveManyFactoredContext(ctx, bm)
 	if err != nil {
 		return nil, err
 	}
@@ -317,20 +295,27 @@ func (r *Result) SolveFactored(b []float64) ([]float64, error) {
 }
 
 // SolveManyFactored solves a·X = B (B is n×nrhs) using already-computed
-// factors. For Results produced by Factorize the solve runs distributed on
-// SolveRanks simulated ranks under the recorded α-β machine; the run's
-// volume report replaces r.SolveVolume and its solve-phase bytes and
-// makespan accumulate into r.SolveBytes / r.SolveTime. Not safe for
-// concurrent use on one Result.
+// factors with a background context; see SolveManyFactoredContext.
 func (r *Result) SolveManyFactored(b *Matrix) (*Matrix, error) {
+	return r.SolveManyFactoredContext(context.Background(), b)
+}
+
+// SolveManyFactoredContext solves a·X = B (B is n×nrhs) using already-
+// computed factors. For Results produced by Factorize the solve runs
+// distributed on the session's solve ranks under the recorded α-β machine;
+// the run's volume report replaces r.SolveVolume and its solve-phase bytes
+// and makespan accumulate into r.SolveBytes / r.SolveTime. Concurrent
+// solves on one Result are safe (the accounting is mutex-guarded);
+// cancellation of ctx aborts the simulation with ErrCanceled.
+func (r *Result) SolveManyFactoredContext(ctx context.Context, b *Matrix) (*Matrix, error) {
 	n := len(r.Perm)
 	if b == nil || b.Rows != n || b.Cols < 1 {
-		return nil, fmt.Errorf("conflux: SolveManyFactored rhs shape mismatch")
+		return nil, fmt.Errorf("%w: SolveManyFactored rhs shape mismatch", ErrShape)
 	}
 	if r.LU == nil || r.LU.Phantom() {
 		return nil, fmt.Errorf("conflux: factors unavailable (volume-mode run?)")
 	}
-	if r.opts == nil {
+	if r.sess == nil {
 		x := mat.New(n, b.Cols)
 		col := make([]float64, n)
 		for j := 0; j < b.Cols; j++ {
@@ -347,11 +332,11 @@ func (r *Result) SolveManyFactored(b *Matrix) (*Matrix, error) {
 		}
 		return x, nil
 	}
-	o := *r.opts
+	s := r.sess
 	pb := mat.PermuteRows(b, r.Perm)
-	opt := trisolve.DefaultOptions(n, o.SolveRanks, b.Cols)
+	opt := trisolve.DefaultOptions(n, s.cfg.solveRanks, b.Cols)
 	var x *Matrix
-	rep, err := smpi.RunTimeoutMachine(opt.Grid.Total, true, o.Machine, o.Timeout, func(c *smpi.Comm) error {
+	rep, err := s.run(ctx, opt.Grid.Total, true, func(c *smpi.Comm) error {
 		var lu, rhs *mat.Matrix
 		if c.Rank() == 0 {
 			lu, rhs = r.LU, pb
@@ -371,14 +356,16 @@ func (r *Result) SolveManyFactored(b *Matrix) (*Matrix, error) {
 	if x == nil {
 		return nil, fmt.Errorf("conflux: no solution gathered at rank 0")
 	}
+	r.mu.Lock()
 	r.SolveVolume = rep
 	r.SolveBytes += rep.ByPhase[trisolve.PhaseFwd] + rep.ByPhase[trisolve.PhaseBack]
 	r.SolveTime += rep.Time.Makespan
+	r.mu.Unlock()
 	return x, nil
 }
 
 // solveSequential is the local O(n²) substitution used for hand-assembled
-// Results (no recorded run configuration to rebuild a simulated world from).
+// Results (no session to rebuild a simulated world from).
 func (r *Result) solveSequential(b []float64) ([]float64, error) {
 	n := len(r.Perm)
 	x := make([]float64, n)
@@ -398,7 +385,7 @@ func (r *Result) solveSequential(b []float64) ([]float64, error) {
 	for i := n - 1; i >= 0; i-- {
 		row := r.LU.Row(i)
 		if row[i] == 0 {
-			return nil, fmt.Errorf("conflux: singular factor: zero pivot on row %d", i)
+			return nil, fmt.Errorf("%w: zero pivot on row %d", ErrSingular, i)
 		}
 		s := x[i]
 		for k := i + 1; k < n; k++ {
@@ -413,67 +400,34 @@ func (r *Result) solveSequential(b []float64) ([]float64, error) {
 // volume mode (no arithmetic, identical byte counts) and returns the report,
 // including the simulated α-β time under the default machine (rep.Time).
 // Memory defaults to the paper's maximum-replication setting.
+//
+// Deprecated: use New and Session.CommVolume.
 func CommVolume(algo Algorithm, n, p int, memory float64) (*VolumeReport, error) {
 	return CommVolumeMachine(algo, n, p, memory, Machine{})
 }
 
 // CommVolumeMachine is CommVolume with explicit α-β machine parameters for
 // the simulated-time model (the zero Machine selects DefaultMachine).
+//
+// Deprecated: use New with WithMachine and Session.CommVolume.
 func CommVolumeMachine(algo Algorithm, n, p int, memory float64, m Machine) (*VolumeReport, error) {
-	o := Options{Ranks: p, Memory: memory, Algorithm: algo, Machine: m}.withDefaults(n)
-	rep, err := smpi.RunTimeoutMachine(o.Ranks, false, o.Machine, o.Timeout, func(c *smpi.Comm) error {
-		_, _, err := runAlgorithm(c, nil, n, o)
-		return err
-	})
+	s, err := Options{Ranks: p, Memory: memory, Algorithm: algo, Machine: m}.session(n)
 	if err != nil {
 		return nil, err
 	}
-	return rep, nil
+	return s.CommVolume(context.Background(), n)
 }
 
 // CommVolumeSolve replays a full factorize-plus-solve schedule at dimension
-// n in volume mode on one simulated world: the selected algorithm's
-// factorization on opts.Ranks, then the distributed triangular solve with
-// opts.RHS right-hand sides on opts.SolveRanks — the same rank counts the
-// numeric Solve/SolveMany path uses. The returned report carries the
-// factorization phases alongside "solve.fwd"/"solve.back", so the
-// end-to-end communication volume and simulated α-β time of a solver
-// workload can be read off one run.
+// n in volume mode on one simulated world; see Session.CommVolumeSolve.
+//
+// Deprecated: use New and Session.CommVolumeSolve.
 func CommVolumeSolve(n int, opts Options) (*VolumeReport, error) {
-	o := opts.withDefaults(n)
-	sopt := trisolve.DefaultOptions(n, o.SolveRanks, o.RHS)
-	world := o.Ranks
-	if o.SolveRanks > world {
-		world = o.SolveRanks
-	}
-	// Each phase runs on its own prefix sub-communicator, so the grids see
-	// exactly the rank counts the numeric path gives them (grid ranks ==
-	// world ranks, which the engines' sub-grid construction relies on).
-	prefix := func(p int) []int {
-		out := make([]int, p)
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
-	factorComm, solveComm := prefix(o.Ranks), prefix(o.SolveRanks)
-	rep, err := smpi.RunTimeoutMachine(world, false, o.Machine, o.Timeout, func(c *smpi.Comm) error {
-		if c.Rank() < o.Ranks {
-			if _, _, err := runAlgorithm(c.Sub("factor", factorComm), nil, n, o); err != nil {
-				return err
-			}
-		}
-		if c.Rank() < o.SolveRanks {
-			if _, err := trisolve.Run(c.Sub("solve", solveComm), nil, nil, sopt); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	s, err := opts.session(n)
 	if err != nil {
 		return nil, err
 	}
-	return rep, nil
+	return s.CommVolumeSolve(context.Background(), n)
 }
 
 // AlgorithmBytes extracts the algorithm-attributed traffic from a report,
@@ -485,31 +439,20 @@ func AlgorithmBytes(rep *VolumeReport) int64 {
 // FactorizeSPD runs the 2.5D Cholesky factorization (the paper conclusions'
 // extension kernel) of a symmetric positive definite matrix on a simulated
 // machine, returning the lower factor L with a = L·Lᵀ and the volume report.
+// Unlike earlier versions, opts.Machine is now honored for the rep.Time
+// simulated-time view (it used to be silently ignored here); the metered
+// bytes are machine-independent and unchanged.
+//
+// Deprecated: use New and Session.FactorizeSPD.
 func FactorizeSPD(a *Matrix, opts Options) (*Matrix, *VolumeReport, error) {
 	if a == nil || a.Rows != a.Cols {
-		return nil, nil, fmt.Errorf("conflux: FactorizeSPD requires a square matrix")
+		return nil, nil, fmt.Errorf("%w: FactorizeSPD requires a square matrix", ErrShape)
 	}
-	n := a.Rows
-	o := opts.withDefaults(n)
-	var l *Matrix
-	rep, err := smpi.RunTimeout(o.Ranks, true, o.Timeout, func(c *smpi.Comm) error {
-		var in *Matrix
-		if c.Rank() == 0 {
-			in = a
-		}
-		res, err := cholesky.Run(c, in, cholesky.DefaultOptions(n, o.Ranks, o.Memory))
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			l = res.L
-		}
-		return nil
-	})
+	s, err := opts.session(a.Rows)
 	if err != nil {
 		return nil, nil, err
 	}
-	return l, rep, nil
+	return s.FactorizeSPD(context.Background(), a)
 }
 
 // FactorizeOutOfCore runs the sequential blocked LU against an explicitly

@@ -48,7 +48,7 @@ func BenchmarkTable2(b *testing.B) {
 				var ms []bench.Measurement
 				for i := 0; i < b.N; i++ {
 					var err error
-					ms, err = bench.MeasureAll(n, p)
+					ms, err = bench.MeasureAll(b.Context(), n, p)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -72,7 +72,7 @@ func BenchmarkFig6a(b *testing.B) {
 				var m bench.Measurement
 				for i := 0; i < b.N; i++ {
 					var err error
-					m, err = bench.Measure(algo, n, p, costmodel.MaxMemoryParams(n, p).M)
+					m, err = bench.Measure(b.Context(), algo, n, p, costmodel.MaxMemoryParams(n, p).M)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -94,7 +94,7 @@ func BenchmarkFig6b(b *testing.B) {
 				var m bench.Measurement
 				for i := 0; i < b.N; i++ {
 					var err error
-					m, err = bench.Measure(algo, n, p, costmodel.MaxMemoryParams(n, p).M)
+					m, err = bench.Measure(b.Context(), algo, n, p, costmodel.MaxMemoryParams(n, p).M)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -111,7 +111,7 @@ func BenchmarkFig7(b *testing.B) {
 	var res *bench.Fig7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = bench.RunFig7([]int{256}, []int{4, 16, 27648, 262144}, 64)
+		res, err = bench.RunFig7(b.Context(), []int{256}, []int{4, 16, 27648, 262144}, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func BenchmarkAblationMaskingVsSwapping(b *testing.B) {
 	var ab bench.AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		ab, err = bench.MaskingVsSwapping(192, 8, float64(192*192)/4)
+		ab, err = bench.MaskingVsSwapping(b.Context(), 192, 8, float64(192*192)/4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,7 +144,7 @@ func BenchmarkAblationGridOptimization(b *testing.B) {
 	var ab bench.AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		ab, err = bench.GridOptimizationOnOff(128, 7, float64(128*128))
+		ab, err = bench.GridOptimizationOnOff(b.Context(), 128, 7, float64(128*128))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +157,7 @@ func BenchmarkAblationBlockSize(b *testing.B) {
 	var ms []bench.Measurement
 	for i := 0; i < b.N; i++ {
 		var err error
-		ms, err = bench.BlockSizeSweep(128, 4, float64(128*128), []int{4, 8, 16, 32})
+		ms, err = bench.BlockSizeSweep(b.Context(), 128, 4, float64(128*128), []int{4, 8, 16, 32})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,13 +4,14 @@ package main
 // (used by the EXPERIMENTS.md pipeline so paper-scale runs stream results).
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
 )
 
-func runCell(n, p int) {
-	for _, row := range bench.TableCell(n, p) {
+func runCell(ctx context.Context, n, p int) {
+	for _, row := range bench.TableCell(ctx, n, p) {
 		fmt.Print(row)
 	}
 }

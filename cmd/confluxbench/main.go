@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/costmodel"
@@ -87,6 +90,10 @@ func main() {
 	solveNRHS := flag.Int("nrhs", 0, "with -exp solve: override the scale preset's right-hand-side count")
 	flag.Parse()
 	bench.Machine = costmodel.Machine{Alpha: *alpha, Beta: *beta}
+	// SIGINT/SIGTERM cancel the context, which aborts the in-flight
+	// simulated world mid-sweep instead of waiting a paper-scale run out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	writeCSV := func(name string, f func(w *os.File) error) {
 		if *csvDir == "" {
 			return
@@ -105,7 +112,7 @@ func main() {
 		fmt.Printf("wrote %s\n", path)
 	}
 	if *exp == "cell" {
-		runCell(*cellN, *cellP)
+		runCell(ctx, *cellN, *cellP)
 		return
 	}
 	s, ok := scales[*sc]
@@ -126,7 +133,7 @@ func main() {
 	}
 
 	run("table2", func(s scale) error {
-		res, err := bench.RunTable2(s.table2N, s.table2P)
+		res, err := bench.RunTable2(ctx, s.table2N, s.table2P)
 		if err != nil {
 			return err
 		}
@@ -135,7 +142,7 @@ func main() {
 		return nil
 	})
 	run("fig6a", func(s scale) error {
-		res, err := bench.RunFig6a(s.fig6aN, s.fig6aP)
+		res, err := bench.RunFig6a(ctx, s.fig6aN, s.fig6aP)
 		if err != nil {
 			return err
 		}
@@ -144,7 +151,7 @@ func main() {
 		return nil
 	})
 	run("fig6b", func(s scale) error {
-		res, err := bench.RunFig6b(s.fig6bBase, s.fig6bP)
+		res, err := bench.RunFig6b(ctx, s.fig6bBase, s.fig6bP)
 		if err != nil {
 			return err
 		}
@@ -153,7 +160,7 @@ func main() {
 		return nil
 	})
 	run("fig7", func(s scale) error {
-		res, err := bench.RunFig7(s.fig7N, s.fig7P, s.fig7Measured)
+		res, err := bench.RunFig7(ctx, s.fig7N, s.fig7P, s.fig7Measured)
 		if err != nil {
 			return err
 		}
@@ -166,17 +173,17 @@ func main() {
 	})
 	run("ablation", func(s scale) error {
 		mem := float64(s.ablN) * float64(s.ablN) / 4
-		ab, err := bench.MaskingVsSwapping(s.ablN, s.ablP, mem)
+		ab, err := bench.MaskingVsSwapping(ctx, s.ablN, s.ablP, mem)
 		if err != nil {
 			return err
 		}
 		bench.RenderAblation(os.Stdout, ab)
-		ab, err = bench.GridOptimizationOnOff(s.ablN, 7, mem)
+		ab, err = bench.GridOptimizationOnOff(ctx, s.ablN, 7, mem)
 		if err != nil {
 			return err
 		}
 		bench.RenderAblation(os.Stdout, ab)
-		ab, err = bench.TournamentVsPartialPivoting(s.ablN, s.ablP, mem)
+		ab, err = bench.TournamentVsPartialPivoting(ctx, s.ablN, s.ablP, mem)
 		if err != nil {
 			return err
 		}
@@ -184,7 +191,7 @@ func main() {
 		return nil
 	})
 	run("smoke", func(s scale) error {
-		res, err := bench.RunSmoke(s.smokeN, s.smokeP)
+		res, err := bench.RunSmoke(ctx, s.smokeN, s.smokeP)
 		if err != nil {
 			return err
 		}
@@ -209,7 +216,7 @@ func main() {
 		if *solveNRHS > 0 {
 			nrhs = *solveNRHS
 		}
-		res, err := bench.RunSolve(s.solveN, s.solveP, nrhs)
+		res, err := bench.RunSolve(ctx, s.solveN, s.solveP, nrhs)
 		if err != nil {
 			return err
 		}
@@ -219,7 +226,7 @@ func main() {
 	})
 	run("sweep", func(s scale) error {
 		mem := float64(s.ablN) * float64(s.ablN) / 4
-		ms, err := bench.BlockSizeSweep(s.ablN, s.ablP, mem, []int{4, 8, 16, 32, 64})
+		ms, err := bench.BlockSizeSweep(ctx, s.ablN, s.ablP, mem, []int{4, 8, 16, 32, 64})
 		if err != nil {
 			return err
 		}

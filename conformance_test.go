@@ -14,7 +14,9 @@ import (
 // including non-powers-of-two (p ∈ {3, 5, 6}) and dimensions not divisible
 // by any engine's block size. This is the cross-engine contract the
 // end-to-end solver relies on: factors from any engine feed the same
-// distributed triangular solve.
+// distributed triangular solve. The suite runs on the v2 Session surface,
+// so it also pins the registry dispatch path every engine self-registers
+// into.
 
 const conformanceTol = 1e-9
 
@@ -24,7 +26,20 @@ var conformanceRanks = []int{3, 4, 5, 6}
 // sizes (32 and 16) nor the typical 2.5D blocking parameters.
 var conformanceDims = []int{33, 45}
 
+// conformanceLU lists the paper's four measured LU implementations.
+var conformanceLU = []Algorithm{COnfLUX, CANDMC, LibSci, SLATE}
+
 func conformanceSeed(n, p int) uint64 { return uint64(n)*1009 + uint64(p)*31 }
+
+// conformanceSession builds the one-algorithm session each case runs on.
+func conformanceSession(t *testing.T, algo Algorithm, p int) *Session {
+	t.Helper()
+	s, err := New(WithRanks(p), WithAlgorithm(algo))
+	if err != nil {
+		t.Fatalf("New(%s, p=%d): %v", algo, p, err)
+	}
+	return s
+}
 
 func TestConformanceLUEngines(t *testing.T) {
 	for _, n := range conformanceDims {
@@ -32,9 +47,10 @@ func TestConformanceLUEngines(t *testing.T) {
 			// One shared general (non-dominant) matrix per (n, p): every
 			// engine must pivot its way through the same input.
 			a := mat.Random(n, n, conformanceSeed(n, p))
-			for _, algo := range []Algorithm{COnfLUX, CANDMC, LibSci, SLATE} {
+			for _, algo := range conformanceLU {
 				t.Run(fmt.Sprintf("%s/n=%d/p=%d", algo, n, p), func(t *testing.T) {
-					res, err := Factorize(a, Options{Ranks: p, Algorithm: algo})
+					s := conformanceSession(t, algo, p)
+					res, err := s.Factorize(t.Context(), a)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -58,7 +74,8 @@ func TestConformanceCholesky(t *testing.T) {
 				// Note: at awkward rank counts (e.g. p=3) the square-layer
 				// grid optimizer may disable all but one rank, so the
 				// conformance contract here is numerical only.
-				l, _, err := FactorizeSPD(a, Options{Ranks: p})
+				s := conformanceSession(t, Cholesky, p)
+				l, _, err := s.FactorizeSPD(t.Context(), a)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -72,18 +89,20 @@ func TestConformanceCholesky(t *testing.T) {
 
 // TestConformanceSolveAcrossEngines closes the loop: factors from every LU
 // engine, fed through the distributed solve, must reproduce the same
-// solution of the same system.
+// solution of the same system. One session per engine carries its
+// factorization and solve, exercising the session-owned solve geometry.
 func TestConformanceSolveAcrossEngines(t *testing.T) {
 	n, nrhs := 45, 3
 	for _, p := range conformanceRanks {
 		a := mat.Random(n, n, conformanceSeed(n, p))
 		b := mat.Random(n, nrhs, conformanceSeed(n, p)+1)
-		for _, algo := range []Algorithm{COnfLUX, CANDMC, LibSci, SLATE} {
-			res, err := Factorize(a, Options{Ranks: p, Algorithm: algo})
+		for _, algo := range conformanceLU {
+			s := conformanceSession(t, algo, p)
+			res, err := s.Factorize(t.Context(), a)
 			if err != nil {
 				t.Fatalf("%s p=%d: %v", algo, p, err)
 			}
-			x, err := res.SolveManyFactored(b)
+			x, err := res.SolveManyFactoredContext(t.Context(), b)
 			if err != nil {
 				t.Fatalf("%s p=%d solve: %v", algo, p, err)
 			}
@@ -91,5 +110,28 @@ func TestConformanceSolveAcrossEngines(t *testing.T) {
 				t.Fatalf("%s p=%d backward error %v", algo, p, be)
 			}
 		}
+	}
+}
+
+// TestConformanceSessionReuse pins the amortization contract the Session
+// exists for: one session runs many jobs (different dimensions, numeric and
+// volume mode) and its accumulated stats reflect every completed run.
+func TestConformanceSessionReuse(t *testing.T) {
+	s := conformanceSession(t, COnfLUX, 4)
+	runs := 0
+	for _, n := range conformanceDims {
+		a := mat.Random(n, n, conformanceSeed(n, 4))
+		if _, err := s.Factorize(t.Context(), a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		runs++
+		if _, err := s.CommVolume(t.Context(), n); err != nil {
+			t.Fatalf("volume n=%d: %v", n, err)
+		}
+		runs++
+	}
+	st := s.Stats()
+	if st.Runs != runs || st.Bytes <= 0 || st.SimTime <= 0 {
+		t.Fatalf("stats did not accumulate: %+v after %d runs", st, runs)
 	}
 }

@@ -1,10 +1,51 @@
 package conflux_test
 
 import (
+	"context"
 	"fmt"
 
 	conflux "repro"
 )
+
+// Construct a v2 Session: one simulated machine configuration, reused
+// across jobs. Options validate eagerly — an unregistered algorithm fails
+// at New with ErrUnknownAlgorithm, not mid-run.
+func ExampleNew() {
+	s, err := conflux.New(
+		conflux.WithRanks(8),
+		conflux.WithAlgorithm(conflux.CANDMC),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("session: %s on %d ranks\n", s.Algorithm(), s.Ranks())
+	// Output:
+	// session: CANDMC on 8 ranks
+}
+
+// Factorize through a Session under a context, reusing the session for a
+// second job and reading the accumulated stats.
+func ExampleSession_Factorize() {
+	ctx := context.Background()
+	s, err := conflux.New(conflux.WithRanks(4))
+	if err != nil {
+		panic(err)
+	}
+	a := conflux.RandomMatrix(32, 7)
+	res, err := s.Factorize(ctx, a)
+	if err != nil {
+		panic(err)
+	}
+	diff := res.LU.At(0, 0) - a.At(res.Perm[0], 0)
+	fmt.Printf("|LU(0,0) - A[perm[0],0]| < 1e-12: %v\n", diff*diff < 1e-24)
+	if _, err := s.CommVolume(ctx, 32); err != nil {
+		panic(err)
+	}
+	fmt.Printf("jobs completed on one session: %d\n", s.Stats().Runs)
+	// Output:
+	// |LU(0,0) - A[perm[0],0]| < 1e-12: true
+	// jobs completed on one session: 2
+}
 
 // Factorize a small matrix with COnfLUX on four simulated ranks and verify
 // one reconstructed entry.

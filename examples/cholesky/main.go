@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -34,7 +35,11 @@ func main() {
 		a.Add(i, i, float64(n))
 	}
 
-	l, rep, err := conflux.FactorizeSPD(a, conflux.Options{Ranks: p})
+	sess, err := conflux.New(conflux.WithRanks(p), conflux.WithAlgorithm(conflux.Cholesky))
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, rep, err := sess.FactorizeSPD(context.Background(), a)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +15,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const n, p = 1024, 64
 
 	fmt.Printf("Simulated α-β time, N=%d P=%d (default machine: α=1µs, β=0.1ns/byte)\n\n", n, p)
 	for _, algo := range []conflux.Algorithm{conflux.COnfLUX, conflux.LibSci} {
-		rep, err := conflux.CommVolume(algo, n, p, 0)
+		sess, err := conflux.New(conflux.WithRanks(p), conflux.WithAlgorithm(algo))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sess.CommVolume(ctx, n)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +47,15 @@ func main() {
 	// -alpha/-beta.
 	fmt.Printf("\nBandwidth-only machine (α=0):\n")
 	for _, algo := range []conflux.Algorithm{conflux.COnfLUX, conflux.LibSci} {
-		rep, err := conflux.CommVolumeMachine(algo, n, p, 0, conflux.Machine{Alpha: 0, Beta: 1e-10})
+		sess, err := conflux.New(
+			conflux.WithRanks(p),
+			conflux.WithAlgorithm(algo),
+			conflux.WithMachine(conflux.Machine{Alpha: 0, Beta: 1e-10}),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sess.CommVolume(ctx, n)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const n = 256
 	algos := []conflux.Algorithm{conflux.LibSci, conflux.SLATE, conflux.CANDMC, conflux.COnfLUX}
 
@@ -27,7 +29,11 @@ func main() {
 		fmt.Printf("%6d", p)
 		best, bestV := conflux.Algorithm(""), 1e18
 		for _, a := range algos {
-			rep, err := conflux.CommVolume(a, n, p, 0)
+			sess, err := conflux.New(conflux.WithRanks(p), conflux.WithAlgorithm(a))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := sess.CommVolume(ctx, n)
 			if err != nil {
 				log.Fatal(err)
 			}

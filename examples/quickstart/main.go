@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,11 @@ func main() {
 	const n, p = 128, 8 // 128×128 matrix on 8 simulated ranks (2×2×2 grid)
 
 	a := conflux.RandomMatrix(n, 1234)
-	res, err := conflux.Factorize(a, conflux.Options{Ranks: p})
+	sess, err := conflux.New(conflux.WithRanks(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Factorize(context.Background(), a)
 	if err != nil {
 		log.Fatal(err)
 	}

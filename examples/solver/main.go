@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -68,11 +69,15 @@ func main() {
 		}
 	}
 
-	q, res, err := conflux.SolveMany(k, v, conflux.Options{
-		Ranks:        ranks,
-		SolveRanks:   solveRanks,
-		RefineSweeps: 1,
-	})
+	sess, err := conflux.New(
+		conflux.WithRanks(ranks),
+		conflux.WithSolveRanks(solveRanks),
+		conflux.WithRefineSweeps(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, res, err := sess.SolveMany(context.Background(), k, v)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const base = 64
 	ps := []int{1, 8, 27, 64}
 	algos := []conflux.Algorithm{conflux.LibSci, conflux.COnfLUX}
@@ -33,7 +35,11 @@ func main() {
 		}
 		fmt.Printf("%6d %6d", p, n)
 		for _, a := range algos {
-			rep, err := conflux.CommVolume(a, n, p, 0)
+			sess, err := conflux.New(conflux.WithRanks(p), conflux.WithAlgorithm(a))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := sess.CommVolume(ctx, n)
 			if err != nil {
 				log.Fatal(err)
 			}

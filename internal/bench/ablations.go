@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,7 +48,7 @@ func (a AblationResult) TimeRatio() float64 {
 // MaskingVsSwapping runs COnfLUX (row masking) and the CANDMC-style engine
 // (physical row swapping) on an IDENTICAL grid and block size, isolating the
 // §7.3 claim that swapping inflates the leading I/O term.
-func MaskingVsSwapping(n, p int, mem float64) (AblationResult, error) {
+func MaskingVsSwapping(ctx context.Context, n, p int, mem float64) (AblationResult, error) {
 	c := grid.MaxReplication(p, mem, n)
 	for c > 1 && p%c != 0 {
 		c--
@@ -58,14 +59,14 @@ func MaskingVsSwapping(n, p int, mem float64) (AblationResult, error) {
 	if v < 4 {
 		v = 4
 	}
-	repA, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+	repA, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, conflux.Options{N: n, V: v, Grid: g})
 		return err
 	})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	repB, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+	repB, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 		_, err := lu25d.Run(cm, nil, lu25d.Options{N: n, V: v, Grid: g})
 		return err
 	})
@@ -91,16 +92,16 @@ func MaskingVsSwapping(n, p int, mem float64) (AblationResult, error) {
 // O(N/v · log P) vs O(N · log P) rounds (§7.3) — both as message counts and
 // as simulated α-β time on the critical rank, turning the paper's latency
 // argument into modeled seconds.
-func TournamentVsPartialPivoting(n, p int, mem float64) (AblationResult, error) {
+func TournamentVsPartialPivoting(ctx context.Context, n, p int, mem float64) (AblationResult, error) {
 	optC := conflux.DefaultOptions(n, p, mem)
-	repA, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+	repA, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, optC)
 		return err
 	})
 	if err != nil {
 		return AblationResult{}, err
 	}
-	repB, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+	repB, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 		_, err := lu2d.Run(cm, nil, lu2d.LibSciOptions(n, p, LibSciNB))
 		return err
 	})
@@ -124,9 +125,9 @@ func TournamentVsPartialPivoting(n, p int, mem float64) (AblationResult, error) 
 // GridOptimizationOnOff measures COnfLUX with and without the Processor
 // Grid Optimization for an awkward (non-factorable) rank count — the
 // Fig. 6a inset effect.
-func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
+func GridOptimizationOnOff(ctx context.Context, n, p int, mem float64) (AblationResult, error) {
 	optOn := conflux.DefaultOptions(n, p, mem)
-	repA, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+	repA, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, optOn)
 		return err
 	})
@@ -137,7 +138,7 @@ func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
 	// the 2D libraries do.
 	g := grid.Square2D(p)
 	v := optOn.V
-	repB, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+	repB, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 		_, err := conflux.Run(cm, nil, conflux.Options{N: n, V: v, Grid: g})
 		return err
 	})
@@ -160,7 +161,7 @@ func GridOptimizationOnOff(n, p int, mem float64) (AblationResult, error) {
 
 // BlockSizeSweep measures COnfLUX volume across blocking parameters v —
 // the §7.2 tunable ("adjusted to hardware parameters").
-func BlockSizeSweep(n, p int, mem float64, vs []int) ([]Measurement, error) {
+func BlockSizeSweep(ctx context.Context, n, p int, mem float64, vs []int) ([]Measurement, error) {
 	base := conflux.DefaultOptions(n, p, mem)
 	var out []Measurement
 	for _, v := range vs {
@@ -169,7 +170,7 @@ func BlockSizeSweep(n, p int, mem float64, vs []int) ([]Measurement, error) {
 		}
 		opt := base
 		opt.V = v
-		rep, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(cm *smpi.Comm) error {
+		rep, err := runVolume(ctx, p, func(cm *smpi.Comm) error {
 			_, err := conflux.Run(cm, nil, opt)
 			return err
 		})

@@ -2,20 +2,27 @@
 // figure of the paper's evaluation (§8–§9) by running the four LU
 // implementations in volume mode on the simulated machine, metering the
 // aggregate bytes sent (the paper's Score-P methodology), and pairing the
-// measurements with the Table 2 cost models. See DESIGN.md §3 for the
-// experiment index and EXPERIMENTS.md for recorded results.
+// measurements with the Table 2 cost models. Engines are dispatched
+// through the internal/engine registry — the same path the public API
+// uses — and every entry point takes a context.Context, so a sweep is
+// cancelable mid-run (cmd/confluxbench wires SIGINT to it). See DESIGN.md
+// §3 for the experiment index and EXPERIMENTS.md for recorded results.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/conflux"
 	"repro/internal/costmodel"
-	"repro/internal/lu25d"
+	"repro/internal/engine"
 	"repro/internal/lu2d"
 	"repro/internal/smpi"
 	"repro/internal/trace"
+
+	// The registry is this harness's only dispatch path to the engines.
+	_ "repro/internal/engine/all"
 )
 
 // Measurement is one (algorithm, N, P) volume-mode data point.
@@ -64,71 +71,71 @@ var Timeout = 30 * time.Minute
 var Machine = costmodel.DefaultMachine()
 
 // LibSciNB is the "user-specified" ScaLAPACK block size used throughout the
-// harness (Table 2 lists LibSci's block size as a user parameter).
-const LibSciNB = 32
+// harness (Table 2 lists LibSci's block size as a user parameter). It
+// aliases the engine's own default so harness measurements and public-API
+// Session runs can never diverge on the block size.
+const LibSciNB = lu2d.DefaultLibSciNB
+
+// runVolume replays one volume-mode schedule on p ranks under ctx, bounded
+// by the harness Timeout. Cancellation aborts the simulated world, so a
+// paper-scale sweep stops promptly on SIGINT.
+func runVolume(ctx context.Context, p int, fn smpi.RankFunc) (*trace.Report, error) {
+	ctx, cancel := context.WithTimeout(ctx, Timeout)
+	defer cancel()
+	return smpi.RunContextMachine(ctx, p, false, Machine, fn)
+}
 
 // Measure runs one algorithm at (n, p) with per-rank memory m (elements) in
-// volume mode and returns the measurement.
-func Measure(algo costmodel.Algorithm, n, p int, mem float64) (Measurement, error) {
+// volume mode and returns the measurement. The engine is resolved through
+// the registry, so any registered algorithm is measurable.
+func Measure(ctx context.Context, algo costmodel.Algorithm, n, p int, mem float64) (Measurement, error) {
 	out := Measurement{Algo: algo, N: n, P: p, M: mem}
 	params := costmodel.Params{N: n, P: p, M: mem}
-	out.ModeledBytes = costmodel.TotalBytes(algo, params)
-
-	var rep *trace.Report
-	var err error
-	var gridDesc string
-	switch algo {
-	case costmodel.LibSci:
-		opt := lu2d.LibSciOptions(n, p, LibSciNB)
-		gridDesc = fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc)
-		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
-			_, err := lu2d.Run(c, nil, opt)
-			return err
-		})
-	case costmodel.SLATE:
-		opt := lu2d.SLATEOptions(n, p)
-		gridDesc = fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc)
-		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
-			_, err := lu2d.Run(c, nil, opt)
-			return err
-		})
-	case costmodel.CANDMC:
-		opt := lu25d.CANDMCOptions(n, p, mem)
-		gridDesc = fmt.Sprintf("%dx%dx%d", opt.Grid.Pr, opt.Grid.Pc, opt.Grid.Layers)
-		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
-			_, err := lu25d.Run(c, nil, opt)
-			return err
-		})
-	case costmodel.COnfLUX:
-		opt := conflux.DefaultOptions(n, p, mem)
-		gridDesc = fmt.Sprintf("%dx%dx%d (%d used)", opt.Grid.Pr, opt.Grid.Pc, opt.Grid.Layers, opt.Grid.Used())
-		out.FittedBytes = conflux.ModelPerRankElements(params) * float64(p) * trace.BytesPerElement
-		rep, err = smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
-			_, err := conflux.Run(c, nil, opt)
-			return err
-		})
-	default:
-		return out, fmt.Errorf("bench: unknown algorithm %q", algo)
+	// Table 2 models exist only for the paper's comparison set; other
+	// registered engines (Cholesky) measure with zero model columns.
+	published := false
+	for _, a := range costmodel.Algorithms {
+		if algo == a {
+			published = true
+			break
+		}
 	}
+	if published {
+		out.ModeledBytes = costmodel.TotalBytes(algo, params)
+	}
+	eng, err := engine.Lookup(algo)
+	if err != nil {
+		return out, fmt.Errorf("bench: %w", err)
+	}
+	cfg := engine.Config{Ranks: p, Memory: mem, NB: LibSciNB}
+	out.GridDesc = engine.GridDesc(eng, n, cfg)
+	if algo == costmodel.COnfLUX {
+		out.FittedBytes = conflux.ModelPerRankElements(params) * float64(p) * trace.BytesPerElement
+	}
+	rep, err := runVolume(ctx, p, func(c *smpi.Comm) error {
+		_, _, err := eng.Run(c, nil, n, cfg)
+		return err
+	})
 	if err != nil {
 		return out, fmt.Errorf("bench: %s N=%d P=%d: %w", algo, n, p, err)
 	}
-	out.GridDesc = gridDesc
 	out.MeasuredBytes = rep.AlgorithmBytes(trace.PhaseLayout, trace.PhaseCollect)
 	out.Msgs = rep.TotalMsgs()
 	out.MaxRankMsgs = rep.Time.MaxRankMsgs()
 	out.SimTime = rep.Time.Makespan
-	out.PredTime = costmodel.PredictedTime(algo, params, Machine, float64(out.MaxRankMsgs))
+	if published {
+		out.PredTime = costmodel.PredictedTime(algo, params, Machine, float64(out.MaxRankMsgs))
+	}
 	return out, nil
 }
 
 // MeasureAll measures every algorithm at the paper's memory setting
 // M = N²/P^{2/3} (maximum replication, Fig. 6 caption).
-func MeasureAll(n, p int) ([]Measurement, error) {
+func MeasureAll(ctx context.Context, n, p int) ([]Measurement, error) {
 	params := costmodel.MaxMemoryParams(n, p)
 	out := make([]Measurement, 0, len(costmodel.Algorithms))
 	for _, algo := range costmodel.Algorithms {
-		m, err := Measure(algo, n, p, params.M)
+		m, err := Measure(ctx, algo, n, p, params.M)
 		if err != nil {
 			return nil, err
 		}

@@ -11,7 +11,7 @@ import (
 // driven by cmd/confluxbench and recorded in EXPERIMENTS.md.
 
 func TestMeasureAllProducesAllAlgorithms(t *testing.T) {
-	ms, err := MeasureAll(128, 4)
+	ms, err := MeasureAll(t.Context(), 128, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestMeasureAllProducesAllAlgorithms(t *testing.T) {
 func TestCOnfLUXWinsAtScale(t *testing.T) {
 	// The paper's core claim at a reproducible test scale: COnfLUX
 	// communicates least among the four.
-	ms, err := MeasureAll(256, 16)
+	ms, err := MeasureAll(t.Context(), 256, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestCOnfLUXWinsAtScale(t *testing.T) {
 }
 
 func TestTable2RenderShape(t *testing.T) {
-	res, err := RunTable2([]int{128}, []int{4})
+	res, err := RunTable2(t.Context(), []int{128}, []int{4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestTable2RenderShape(t *testing.T) {
 }
 
 func TestFig6aStrongScalingShape(t *testing.T) {
-	res, err := RunFig6a(256, []int{4, 16})
+	res, err := RunFig6a(t.Context(), 256, []int{4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestFig6aStrongScalingShape(t *testing.T) {
 }
 
 func TestFig6bWeakScalingFlatnessFor25D(t *testing.T) {
-	res, err := RunFig6b(64, []int{1, 8, 64})
+	res, err := RunFig6b(t.Context(), 64, []int{1, 8, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestWeakScalingN(t *testing.T) {
 }
 
 func TestFig7MeasuredAndPredicted(t *testing.T) {
-	res, err := RunFig7([]int{128}, []int{4, 1 << 14}, 16)
+	res, err := RunFig7(t.Context(), []int{128}, []int{4, 1 << 14}, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestSummitPrediction(t *testing.T) {
 }
 
 func TestMaskingVsSwappingAblation(t *testing.T) {
-	ab, err := MaskingVsSwapping(192, 8, float64(192*192)/4)
+	ab, err := MaskingVsSwapping(t.Context(), 192, 8, float64(192*192)/4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestMaskingVsSwappingAblation(t *testing.T) {
 func TestGridOptimizationAblation(t *testing.T) {
 	// P=7 (prime): greedy 2D grid degenerates to 1x7; optimization should
 	// find something no worse.
-	ab, err := GridOptimizationOnOff(128, 7, float64(128*128))
+	ab, err := GridOptimizationOnOff(t.Context(), 128, 7, float64(128*128))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestGridOptimizationAblation(t *testing.T) {
 }
 
 func TestTournamentVsPartialPivotingLatency(t *testing.T) {
-	ab, err := TournamentVsPartialPivoting(256, 4, float64(256*256)/2)
+	ab, err := TournamentVsPartialPivoting(t.Context(), 256, 4, float64(256*256)/2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestTournamentVsPartialPivotingLatency(t *testing.T) {
 }
 
 func TestBlockSizeSweep(t *testing.T) {
-	ms, err := BlockSizeSweep(128, 4, float64(128*128), []int{4, 8, 16})
+	ms, err := BlockSizeSweep(t.Context(), 128, 4, float64(128*128), []int{4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,5 +208,29 @@ func TestCrossoverReport(t *testing.T) {
 	// (P=1024); see costmodel tests for the paper-vs-model discussion.
 	if p := CrossoverReport(16384); p < 10_000 {
 		t.Fatalf("crossover %d too small", p)
+	}
+}
+
+// TestMeasureRegistryEngines: any registered engine is measurable through
+// the registry path — including Cholesky, which has no Table 2 model row
+// (zero model columns, no panic).
+func TestMeasureCholeskyViaRegistry(t *testing.T) {
+	m, err := Measure(t.Context(), costmodel.Cholesky, 64, 4, costmodel.MaxMemoryParams(64, 4).M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeasuredBytes <= 0 {
+		t.Fatal("no traffic measured")
+	}
+	if m.ModeledBytes != 0 || m.PredTime != 0 {
+		t.Fatalf("Cholesky has no published model: %v/%v", m.ModeledBytes, m.PredTime)
+	}
+}
+
+// TestMeasureUnknownAlgorithm: an unregistered name surfaces the registry
+// error instead of a hard-coded switch default.
+func TestMeasureUnknownAlgorithm(t *testing.T) {
+	if _, err := Measure(t.Context(), "HPL", 64, 4, 1024); err == nil {
+		t.Fatal("expected registry lookup error")
 	}
 }

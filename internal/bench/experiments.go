@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -18,11 +19,11 @@ type Table2Result struct {
 
 // RunTable2 measures the given problem sizes and rank counts (the paper uses
 // N ∈ {4096, 16384}, P ∈ {64, 1024}).
-func RunTable2(ns, ps []int) (*Table2Result, error) {
+func RunTable2(ctx context.Context, ns, ps []int) (*Table2Result, error) {
 	res := &Table2Result{}
 	for _, n := range ns {
 		for _, p := range ps {
-			ms, err := MeasureAll(n, p)
+			ms, err := MeasureAll(ctx, n, p)
 			if err != nil {
 				return nil, err
 			}
@@ -34,10 +35,10 @@ func RunTable2(ns, ps []int) (*Table2Result, error) {
 
 // TableCell measures one (N, P) cell of Table 2 and returns pre-rendered
 // rows — used to stream paper-scale results incrementally.
-func TableCell(n, p int) []string {
+func TableCell(ctx context.Context, n, p int) []string {
 	out := []string{fmt.Sprintf("Total comm. volume for N=%d, P=%d measured/modeled [GB] (prediction %%)\n", n, p)}
 	for _, algo := range costmodel.Algorithms {
-		m, err := Measure(algo, n, p, costmodel.MaxMemoryParams(n, p).M)
+		m, err := Measure(ctx, algo, n, p, costmodel.MaxMemoryParams(n, p).M)
 		if err != nil {
 			out = append(out, fmt.Sprintf("  %-8s ERROR: %v\n", algo, err))
 			continue
@@ -83,10 +84,10 @@ type Fig6aResult struct {
 
 // RunFig6a sweeps rank counts at fixed N (paper: N = 16384, P up to 1024,
 // including non-powers that trigger the 2D libraries' bad-grid outliers).
-func RunFig6a(n int, ps []int) (*Fig6aResult, error) {
+func RunFig6a(ctx context.Context, n int, ps []int) (*Fig6aResult, error) {
 	res := &Fig6aResult{N: n}
 	for _, p := range ps {
-		ms, err := MeasureAll(n, p)
+		ms, err := MeasureAll(ctx, n, p)
 		if err != nil {
 			return nil, err
 		}
@@ -127,10 +128,10 @@ func WeakScalingN(base, p int) int {
 }
 
 // RunFig6b sweeps P with N = base·∛P (paper: base = 3200).
-func RunFig6b(base int, ps []int) (*Fig6bResult, error) {
+func RunFig6b(ctx context.Context, base int, ps []int) (*Fig6bResult, error) {
 	res := &Fig6bResult{Base: base}
 	for _, p := range ps {
-		ms, err := MeasureAll(WeakScalingN(base, p), p)
+		ms, err := MeasureAll(ctx, WeakScalingN(base, p), p)
 		if err != nil {
 			return nil, err
 		}
@@ -165,12 +166,12 @@ type Fig7Result struct {
 // RunFig7 builds the heatmap: measured cells for P ≤ measuredLimit,
 // model-predicted cells beyond (the paper measures to P=1024 and predicts to
 // P=262144, Summit scale).
-func RunFig7(ns, ps []int, measuredLimit int) (*Fig7Result, error) {
+func RunFig7(ctx context.Context, ns, ps []int, measuredLimit int) (*Fig7Result, error) {
 	res := &Fig7Result{}
 	for _, n := range ns {
 		for _, p := range ps {
 			if p <= measuredLimit {
-				ms, err := MeasureAll(n, p)
+				ms, err := MeasureAll(ctx, n, p)
 				if err != nil {
 					return nil, err
 				}

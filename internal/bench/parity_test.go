@@ -87,7 +87,7 @@ func TestTimelineReportParityAllEngines(t *testing.T) {
 func TestSimulatedTimeDeterministic(t *testing.T) {
 	var first float64
 	for i := 0; i < 3; i++ {
-		m, err := Measure(costmodel.COnfLUX, 128, 8, costmodel.MaxMemoryParams(128, 8).M)
+		m, err := Measure(t.Context(), costmodel.COnfLUX, 128, 8, costmodel.MaxMemoryParams(128, 8).M)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +110,7 @@ func TestSimulatedTimeMonotoneInMachine(t *testing.T) {
 		saved := Machine
 		Machine = m
 		defer func() { Machine = saved }()
-		res, err := Measure(costmodel.LibSci, 128, 8, costmodel.MaxMemoryParams(128, 8).M)
+		res, err := Measure(t.Context(), costmodel.LibSci, 128, 8, costmodel.MaxMemoryParams(128, 8).M)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 )
@@ -33,8 +34,8 @@ type SmokeMeasurement struct {
 
 // RunSmoke measures every algorithm at one small (n, p) point and packages
 // the result for JSON emission.
-func RunSmoke(n, p int) (*SmokeResult, error) {
-	ms, err := MeasureAll(n, p)
+func RunSmoke(ctx context.Context, n, p int) (*SmokeResult, error) {
+	ms, err := MeasureAll(ctx, n, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -27,13 +28,13 @@ func (m SolveMeasurement) SolveBytes() int64 { return m.FwdBytes + m.BackBytes }
 
 // MeasureSolve replays the distributed triangular solve at (n, p) with nrhs
 // right-hand sides in volume mode and returns the measurement.
-func MeasureSolve(n, p, nrhs int) (SolveMeasurement, error) {
+func MeasureSolve(ctx context.Context, n, p, nrhs int) (SolveMeasurement, error) {
 	opt := trisolve.DefaultOptions(n, p, nrhs)
 	out := SolveMeasurement{
 		N: n, P: p, NRHS: opt.NRHS,
 		GridDesc: fmt.Sprintf("%dx%d", opt.Grid.Pr, opt.Grid.Pc),
 	}
-	rep, err := smpi.RunTimeoutMachine(p, false, Machine, Timeout, func(c *smpi.Comm) error {
+	rep, err := runVolume(ctx, p, func(c *smpi.Comm) error {
 		_, err := trisolve.Run(c, nil, nil, opt)
 		return err
 	})
@@ -59,10 +60,10 @@ type SolveResult struct {
 }
 
 // RunSolve sweeps rank counts at fixed n with nrhs right-hand sides.
-func RunSolve(n int, ps []int, nrhs int) (*SolveResult, error) {
+func RunSolve(ctx context.Context, n int, ps []int, nrhs int) (*SolveResult, error) {
 	res := &SolveResult{N: n, NRHS: nrhs}
 	for _, p := range ps {
-		m, err := MeasureSolve(n, p, nrhs)
+		m, err := MeasureSolve(ctx, n, p, nrhs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,33 @@
+package cholesky
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	engreg "repro/internal/engine"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+)
+
+// choleskyEngine adapts the 2.5D Cholesky extension to the engine registry.
+// Cholesky produces a single lower factor L with in = L·Lᵀ and no pivot
+// permutation, so Run returns a nil perm; the public API routes SPD inputs
+// here through Session.FactorizeSPD.
+type choleskyEngine struct{}
+
+func (choleskyEngine) Name() costmodel.Algorithm { return costmodel.Cholesky }
+
+func (choleskyEngine) Run(c *smpi.Comm, in *mat.Matrix, n int, cfg engreg.Config) (*mat.Matrix, []int, error) {
+	res, err := Run(c, in, DefaultOptions(n, cfg.Ranks, cfg.MemoryFor(n)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.L, nil, nil
+}
+
+func (choleskyEngine) GridDesc(n int, cfg engreg.Config) string {
+	g := DefaultOptions(n, cfg.Ranks, cfg.MemoryFor(n)).Grid
+	return fmt.Sprintf("%dx%dx%d", g.Pr, g.Pc, g.Layers)
+}
+
+func init() { engreg.Register(choleskyEngine{}) }

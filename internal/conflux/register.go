@@ -1,0 +1,31 @@
+package conflux
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	engreg "repro/internal/engine"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+)
+
+// confluxEngine adapts Run to the engine registry: the public API, the
+// bench harness, and the CLI reach COnfLUX only through this registration.
+type confluxEngine struct{}
+
+func (confluxEngine) Name() costmodel.Algorithm { return costmodel.COnfLUX }
+
+func (confluxEngine) Run(c *smpi.Comm, in *mat.Matrix, n int, cfg engreg.Config) (*mat.Matrix, []int, error) {
+	res, err := Run(c, in, DefaultOptions(n, cfg.Ranks, cfg.MemoryFor(n)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.LU, res.Perm, nil
+}
+
+func (confluxEngine) GridDesc(n int, cfg engreg.Config) string {
+	g := DefaultOptions(n, cfg.Ranks, cfg.MemoryFor(n)).Grid
+	return fmt.Sprintf("%dx%dx%d (%d used)", g.Pr, g.Pc, g.Layers, g.Used())
+}
+
+func init() { engreg.Register(confluxEngine{}) }

@@ -66,6 +66,11 @@ const (
 	CANDMC  Algorithm = "CANDMC"
 	LibSci  Algorithm = "LibSci"
 	SLATE   Algorithm = "SLATE"
+
+	// Cholesky names the 2.5D Cholesky extension kernel (the paper
+	// conclusions' next target). It is not part of the Table 2 comparison
+	// set (Algorithms), but registers as an engine like the LU codes.
+	Cholesky Algorithm = "Cholesky"
 )
 
 // Algorithms lists the paper's comparison set in Table 2 order.

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+)
+
+type fakeEngine struct{ name costmodel.Algorithm }
+
+func (f fakeEngine) Name() costmodel.Algorithm { return f.name }
+func (f fakeEngine) Run(c *smpi.Comm, in *mat.Matrix, n int, cfg Config) (*mat.Matrix, []int, error) {
+	return nil, nil, nil
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	Register(fakeEngine{name: "test-lookup"})
+	e, err := Lookup("test-lookup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "test-lookup" {
+		t.Fatalf("looked up %q", e.Name())
+	}
+	found := false
+	for _, name := range Names() {
+		if name == "test-lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() missing registration: %v", Names())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register(fakeEngine{name: "test-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(fakeEngine{name: "test-dup"})
+}
+
+func TestLookupUnknownWrapsErrUnknown(t *testing.T) {
+	_, err := Lookup("no-such-engine")
+	if err == nil || !errors.Is(err, ErrUnknown) {
+		t.Fatalf("err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestGridDescOptional(t *testing.T) {
+	if d := GridDesc(fakeEngine{name: "x"}, 64, Config{Ranks: 4}); d != "" {
+		t.Fatalf("non-describer returned %q", d)
+	}
+}
+
+func TestConfigMemoryFor(t *testing.T) {
+	if m := (Config{Ranks: 8, Memory: 123}).MemoryFor(64); m != 123 {
+		t.Fatalf("explicit memory not honored: %v", m)
+	}
+	want := costmodel.MaxMemoryParams(64, 8).M
+	if m := (Config{Ranks: 8}).MemoryFor(64); m != want {
+		t.Fatalf("default memory %v, want max-replication %v", m, want)
+	}
+}

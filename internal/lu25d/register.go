@@ -1,0 +1,31 @@
+package lu25d
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	engreg "repro/internal/engine"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+)
+
+// candmcEngine adapts the 2.5D row-swapping LU (CANDMC-style) to the
+// engine registry.
+type candmcEngine struct{}
+
+func (candmcEngine) Name() costmodel.Algorithm { return costmodel.CANDMC }
+
+func (candmcEngine) Run(c *smpi.Comm, in *mat.Matrix, n int, cfg engreg.Config) (*mat.Matrix, []int, error) {
+	res, err := Run(c, in, CANDMCOptions(n, cfg.Ranks, cfg.MemoryFor(n)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.LU, res.Perm, nil
+}
+
+func (candmcEngine) GridDesc(n int, cfg engreg.Config) string {
+	g := CANDMCOptions(n, cfg.Ranks, cfg.MemoryFor(n)).Grid
+	return fmt.Sprintf("%dx%dx%d", g.Pr, g.Pc, g.Layers)
+}
+
+func init() { engreg.Register(candmcEngine{}) }

@@ -1,6 +1,7 @@
 package smpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -9,6 +10,12 @@ import (
 
 	"repro/internal/trace"
 )
+
+// ErrCanceled is the sentinel wrapped by every run that was interrupted by
+// its context (cancellation or deadline). Callers test for it with
+// errors.Is; the returned error additionally wraps the context's cause, so
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded also work.
+var ErrCanceled = errors.New("smpi: run canceled")
 
 // RankFunc is the body executed by every rank of a simulated run.
 type RankFunc func(c *Comm) error
@@ -70,28 +77,71 @@ func RunWorld(w *World, fn RankFunc) (*trace.Report, error) {
 	return w.Trace.Report(), nil
 }
 
+// RunContext executes fn on p ranks under the default α-β machine, aborting
+// the simulation when ctx is canceled or its deadline passes.
+func RunContext(ctx context.Context, p int, payload bool, fn RankFunc) (*trace.Report, error) {
+	return RunContextMachine(ctx, p, payload, trace.DefaultMachine(), fn)
+}
+
+// RunContextMachine is RunContext with explicit α-β machine parameters.
+func RunContextMachine(ctx context.Context, p int, payload bool, m trace.Machine, fn RankFunc) (*trace.Report, error) {
+	return RunContextWorld(ctx, NewWorldMachine(p, payload, m), fn)
+}
+
+// RunContextWorld runs fn on a caller-configured world under ctx. When ctx
+// is done the world is aborted: every rank blocked on a receive unwinds
+// immediately (and computing ranks unwind at their next communication
+// point), so an in-flight simulation is interrupted promptly rather than
+// run to completion or abandoned. The returned error wraps ErrCanceled and
+// the context's cause. A run that completes before cancellation lands is
+// returned as a success.
+func RunContextWorld(ctx context.Context, w *World, fn RankFunc) (*trace.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(ctx)
+	}
+	// The watcher holds the world open until the run returns, so a
+	// cancellation arriving at any point wakes the blocked ranks exactly
+	// once and the goroutine never leaks.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.Abort()
+		case <-done:
+		}
+	}()
+	rep, err := RunWorld(w, fn)
+	close(done)
+	if err != nil && ctx.Err() != nil {
+		// The abort unwound the ranks (surfacing as ErrAborted or as
+		// engine errors on half-delivered schedules); the context is the
+		// root cause, so it wins.
+		return rep, canceledErr(ctx)
+	}
+	return rep, err
+}
+
+func canceledErr(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if err := ctx.Err(); !errors.Is(cause, err) {
+		// A custom cause (e.g. a timeout explanation) replaces ctx.Err()
+		// in the chain; keep both so errors.Is works against either.
+		return fmt.Errorf("%w: %w (%w)", ErrCanceled, cause, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
 // RunTimeout is Run with a deadline; it fails rather than deadlocking when a
-// schedule bug leaves ranks blocked on Recv. Only for tests: the goroutines
-// of a timed-out run are abandoned.
+// schedule bug leaves ranks blocked on Recv. The deadline aborts the world,
+// so the ranks of a timed-out run unwind instead of leaking.
 func RunTimeout(p int, payload bool, d time.Duration, fn RankFunc) (*trace.Report, error) {
 	return RunTimeoutMachine(p, payload, trace.DefaultMachine(), d, fn)
 }
 
 // RunTimeoutMachine is RunTimeout with explicit α-β machine parameters.
 func RunTimeoutMachine(p int, payload bool, m trace.Machine, d time.Duration, fn RankFunc) (*trace.Report, error) {
-	type result struct {
-		rep *trace.Report
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		rep, err := RunMachine(p, payload, m, fn)
-		ch <- result{rep, err}
-	}()
-	select {
-	case res := <-ch:
-		return res.rep, res.err
-	case <-time.After(d):
-		return nil, fmt.Errorf("smpi: run did not complete within %v (likely schedule deadlock)", d)
-	}
+	ctx, cancel := context.WithTimeoutCause(context.Background(), d,
+		fmt.Errorf("smpi: run did not complete within %v (likely schedule deadlock)", d))
+	defer cancel()
+	return RunContextMachine(ctx, p, payload, m, fn)
 }

@@ -111,12 +111,18 @@ func (mb *mailbox) put(k msgKey, m Msg) {
 var ErrAborted = errors.New("smpi: run aborted by another rank's failure")
 
 // Abort wakes every rank blocked on a receive; their pending takes panic
-// with ErrAborted. Called by the runner when any rank fails, so one rank's
-// error cannot deadlock the world.
+// with ErrAborted. Called by the runner when any rank fails or the run's
+// context fires, so one rank's error cannot deadlock the world. The
+// broadcast must hold each mailbox's mutex: a rank between its aborted
+// check and cond.Wait holds that mutex, so acquiring it orders the store
+// before the rank's recheck — an unlocked broadcast could land in that
+// window and be lost, leaving the rank (and the whole run) blocked forever.
 func (w *World) Abort() {
 	w.aborted.Store(true)
 	for _, mb := range w.boxes {
+		mb.mu.Lock()
 		mb.cond.Broadcast()
+		mb.mu.Unlock()
 	}
 }
 

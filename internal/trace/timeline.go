@@ -29,6 +29,12 @@ func (m Machine) Time(bytes, msgs float64) float64 {
 	return msgs*m.Alpha + bytes*m.Beta
 }
 
+// IsZero reports whether m is the zero Machine value. Callers that want a
+// "default when unset" rule must pair it with an explicit way to request
+// the all-free machine (α = β = 0), which is a meaningful configuration —
+// it isolates volume from timing — and not merely "unset".
+func (m Machine) IsZero() bool { return m == Machine{} }
+
 // Event is one matched point-to-point delivery on the simulated machine.
 // Phase is the sending rank's phase label at send time. SendTime is the
 // sender's logical clock when the injection completed; RecvTime the

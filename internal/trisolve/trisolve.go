@@ -32,6 +32,7 @@
 package trisolve
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/blas"
@@ -47,6 +48,10 @@ const (
 	PhaseFwd  = "solve.fwd"
 	PhaseBack = "solve.back"
 )
+
+// ErrSingular is the sentinel wrapped by solves that hit a zero U pivot.
+// The public API re-surfaces it as conflux.ErrSingular.
+var ErrSingular = errors.New("singular factor")
 
 // Options configures a distributed triangular solve.
 type Options struct {
@@ -262,7 +267,7 @@ func checkPivots(diag *mat.Matrix, row0 int) error {
 	}
 	for d := 0; d < diag.Rows; d++ {
 		if diag.At(d, d) == 0 {
-			return fmt.Errorf("trisolve: singular factor: zero pivot on row %d", row0+d)
+			return fmt.Errorf("trisolve: %w: zero pivot on row %d", ErrSingular, row0+d)
 		}
 	}
 	return nil

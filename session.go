@@ -1,0 +1,468 @@
+package conflux
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/engine"
+	"repro/internal/mat"
+	"repro/internal/smpi"
+	"repro/internal/trisolve"
+
+	// Register every in-tree engine: the registry is the only dispatch
+	// path from the public API to the engine layer.
+	_ "repro/internal/engine/all"
+)
+
+// Session is the v2 entry point: a handle on one simulated machine
+// configuration — the P-rank world size, the α-β Machine, the selected
+// engine, and the solve-phase geometry — that runs any number of jobs
+// (factorizations, solves, volume replays) and accumulates their trace
+// totals. Construct it with New and functional options:
+//
+//	s, err := conflux.New(
+//		conflux.WithRanks(8),
+//		conflux.WithAlgorithm(conflux.CANDMC),
+//	)
+//	res, err := s.Factorize(ctx, a)
+//
+// Every method takes a context.Context; cancellation (or a deadline)
+// aborts the in-flight simulation promptly and surfaces as ErrCanceled.
+//
+// Concurrency: a Session is safe for concurrent use. Each job runs on its
+// own simulated world; the accumulated Stats are mutex-guarded. The one
+// shared mutable object is a Result — see its concurrency contract.
+type Session struct {
+	cfg sessionConfig
+	eng engine.Engine // resolved once by New; Lookup cannot fail afterwards
+
+	mu    sync.Mutex
+	stats SessionStats
+}
+
+// SessionStats is the accumulated trace view of every simulation a Session
+// has completed: volume replays, factorizations, and distributed solves.
+type SessionStats struct {
+	// Runs counts simulations that ran to completion. Runs that fail
+	// inside the simulation or are canceled are not counted; a run whose
+	// post-simulation validation fails (e.g. an engine returning no pivot
+	// permutation) is, since its traffic was fully simulated.
+	Runs int
+	// Bytes is the total metered traffic across runs, housekeeping
+	// (layout/collect) included.
+	Bytes int64
+	// SimTime is the sum of the simulated α-β makespans, in seconds.
+	SimTime float64
+}
+
+// sessionConfig is the resolved, immutable configuration of a Session.
+type sessionConfig struct {
+	ranks        int
+	memory       float64 // 0: paper's max-replication default, per n
+	algorithm    Algorithm
+	machine      Machine
+	machineSet   bool
+	solveRanks   int // 0: ranks
+	rhs          int
+	refineSweeps int
+	nb           int
+	timeout      time.Duration
+}
+
+func defaultSessionConfig() sessionConfig {
+	return sessionConfig{
+		ranks:     4,
+		algorithm: COnfLUX,
+		rhs:       1,
+		timeout:   10 * time.Minute,
+	}
+}
+
+// Option configures a Session under construction (functional options).
+type Option func(*sessionConfig) error
+
+// WithRanks sets the number of simulated processors P (default 4).
+func WithRanks(p int) Option {
+	return func(c *sessionConfig) error {
+		if p <= 0 {
+			return fmt.Errorf("conflux: WithRanks requires p > 0, got %d", p)
+		}
+		c.ranks = p
+		return nil
+	}
+}
+
+// WithMemory sets the per-rank fast memory M in elements. The default
+// (m <= 0) is the paper's maximum-replication setting M = N²/P^(2/3),
+// resolved per job from its matrix dimension.
+func WithMemory(m float64) Option {
+	return func(c *sessionConfig) error {
+		if m > 0 {
+			c.memory = m
+		} else {
+			c.memory = 0
+		}
+		return nil
+	}
+}
+
+// WithAlgorithm selects the engine (default COnfLUX). The name must be
+// registered in the engine registry; New fails with ErrUnknownAlgorithm
+// otherwise.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *sessionConfig) error {
+		c.algorithm = a
+		return nil
+	}
+}
+
+// WithMachine sets the α-β machine parameters exactly as given — including
+// the all-free zero Machine, which WithFreeMachine names explicitly. The
+// default (option absent) is DefaultMachine().
+func WithMachine(m Machine) Option {
+	return func(c *sessionConfig) error {
+		c.machine = m
+		c.machineSet = true
+		return nil
+	}
+}
+
+// WithFreeMachine selects the all-free machine (α = 0, β = 0): traffic is
+// metered but simulated time stays zero. This is the configuration the
+// zero-value wart of the v1 Options.Machine field could not express.
+func WithFreeMachine() Option { return WithMachine(Machine{}) }
+
+// WithSolveRanks sets the number of simulated ranks the distributed
+// triangular solve runs on (default: the factorization rank count). The
+// solve uses its own 2D grid, independent of the factorization grid.
+func WithSolveRanks(p int) Option {
+	return func(c *sessionConfig) error {
+		if p <= 0 {
+			return fmt.Errorf("conflux: WithSolveRanks requires p > 0, got %d", p)
+		}
+		c.solveRanks = p
+		return nil
+	}
+}
+
+// WithRHS sets the right-hand-side count volume-mode solve replays
+// generate (default 1). Numeric solves infer the width from B.
+func WithRHS(nrhs int) Option {
+	return func(c *sessionConfig) error {
+		if nrhs <= 0 {
+			return fmt.Errorf("conflux: WithRHS requires nrhs > 0, got %d", nrhs)
+		}
+		c.rhs = nrhs
+		return nil
+	}
+}
+
+// WithRefineSweeps bounds the iterative-refinement loop of Solve and
+// SolveMany: after the direct solve, up to k rounds of residual
+// recomputation and distributed re-solve (default 0: none).
+func WithRefineSweeps(k int) Option {
+	return func(c *sessionConfig) error {
+		if k < 0 {
+			return fmt.Errorf("conflux: WithRefineSweeps requires k >= 0, got %d", k)
+		}
+		c.refineSweeps = k
+		return nil
+	}
+}
+
+// WithBlockSize sets the block size for engines with a user-specified
+// blocking parameter (LibSci; Table 2 lists it as a user choice). 0 selects
+// the engine default.
+func WithBlockSize(nb int) Option {
+	return func(c *sessionConfig) error {
+		if nb < 0 {
+			return fmt.Errorf("conflux: WithBlockSize requires nb >= 0, got %d", nb)
+		}
+		c.nb = nb
+		return nil
+	}
+}
+
+// WithTimeout sets the safety-net bound on every simulation the session
+// runs, applied on top of whatever deadline the per-call context carries —
+// it exists so a schedule bug surfaces as ErrCanceled instead of a
+// deadlock. Default 10 minutes; 0 disables it (rely on the context alone).
+func WithTimeout(d time.Duration) Option {
+	return func(c *sessionConfig) error {
+		if d < 0 {
+			return fmt.Errorf("conflux: WithTimeout requires d >= 0, got %v", d)
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// New constructs a Session from functional options, validating each option
+// and that the selected algorithm has a registered engine (otherwise the
+// error wraps ErrUnknownAlgorithm).
+func New(opts ...Option) (*Session, error) {
+	cfg := defaultSessionConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.machineSet {
+		cfg.machine = DefaultMachine()
+	}
+	if cfg.solveRanks <= 0 {
+		cfg.solveRanks = cfg.ranks
+	}
+	eng, err := engine.Lookup(cfg.algorithm)
+	if err != nil {
+		return nil, publicErr(err)
+	}
+	return &Session{cfg: cfg, eng: eng}, nil
+}
+
+// Engines returns the registered algorithm names in sorted order — the set
+// WithAlgorithm accepts.
+func Engines() []Algorithm { return engine.Names() }
+
+// Algorithm returns the engine the session dispatches to.
+func (s *Session) Algorithm() Algorithm { return s.cfg.algorithm }
+
+// Ranks returns the simulated world size P of the session's machine.
+func (s *Session) Ranks() int { return s.cfg.ranks }
+
+// Machine returns the α-β machine parameters the session's clocks advance
+// with.
+func (s *Session) Machine() Machine { return s.cfg.machine }
+
+// Stats returns the accumulated trace totals of every simulation this
+// session has completed so far.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// engineConfig is the per-run engine configuration derived from the
+// session.
+func (s *Session) engineConfig() engine.Config {
+	return engine.Config{Ranks: s.cfg.ranks, Memory: s.cfg.memory, NB: s.cfg.nb}
+}
+
+// run executes one simulation on a fresh world of the given size under the
+// session machine, layering the session safety timeout onto ctx, and folds
+// the completed run into the session stats.
+func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.RankFunc) (*VolumeReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.timeout,
+			fmt.Errorf("conflux: simulation exceeded the session safety timeout %v", s.cfg.timeout))
+		defer cancel()
+	}
+	rep, err := smpi.RunContextMachine(ctx, world, payload, s.cfg.machine, fn)
+	if err != nil {
+		return nil, publicErr(err)
+	}
+	s.mu.Lock()
+	s.stats.Runs++
+	s.stats.Bytes += rep.TotalBytes()
+	s.stats.SimTime += rep.Time.Makespan
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// Factorize runs a distributed LU factorization of a (n×n) on the session
+// machine and returns the gathered factors. The input is not modified.
+// Cancellation of ctx aborts the simulation and returns ErrCanceled.
+func (s *Session) Factorize(ctx context.Context, a *Matrix) (*Result, error) {
+	if a == nil || a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Factorize requires a square matrix", ErrShape)
+	}
+	n := a.Rows
+	cfg := s.engineConfig()
+	var out *Result
+	rep, err := s.run(ctx, s.cfg.ranks, true, func(c *smpi.Comm) error {
+		var in *Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		lu, perm, err := s.eng.Run(c, in, n, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = &Result{LU: lu, Perm: perm}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("conflux: no result gathered at rank 0")
+	}
+	if len(out.Perm) != n {
+		return nil, fmt.Errorf("conflux: engine %q returned no pivot permutation; use FactorizeSPD for Cholesky", s.cfg.algorithm)
+	}
+	out.Volume = rep
+	out.Time = rep.Time.Makespan
+	out.CommTime = rep.Time.CritBusy()
+	out.sess = s
+	return out, nil
+}
+
+// Solve factorizes a with the session engine and solves a·x = b, returning
+// x. The triangular solve runs distributed on the session's solve ranks,
+// with the configured rounds of iterative refinement.
+func (s *Session) Solve(ctx context.Context, a *Matrix, b []float64) ([]float64, error) {
+	if a == nil || a.Rows != a.Cols || len(b) != a.Rows {
+		return nil, fmt.Errorf("%w: Solve requires square A and len(b) == n", ErrShape)
+	}
+	bm := mat.FromSlice(len(b), 1, append([]float64(nil), b...))
+	x, _, err := s.SolveMany(ctx, a, bm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(b))
+	for i := range out {
+		out[i] = x.At(i, 0)
+	}
+	return out, nil
+}
+
+// SolveMany factorizes a and solves a·X = B for every column of B at once
+// on the distributed machine, returning X and the factorization Result
+// (whose SolveVolume/SolveBytes/SolveTime fields report the metered solve
+// phase). With WithRefineSweeps(k), each of up to k sweeps recomputes the
+// residual R = B − A·X and re-solves distributed for the correction,
+// stopping early once the residual is at rounding level.
+func (s *Session) SolveMany(ctx context.Context, a, b *Matrix) (*Matrix, *Result, error) {
+	if a == nil || a.Rows != a.Cols || b == nil || b.Rows != a.Rows {
+		return nil, nil, fmt.Errorf("%w: SolveMany requires square A and B with B.Rows == n", ErrShape)
+	}
+	res, err := s.Factorize(ctx, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err := res.SolveManyFactoredContext(ctx, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	normB := mat.NormInf(b)
+	for sweep := 0; sweep < s.cfg.refineSweeps; sweep++ {
+		resid := b.Clone()
+		blas.Gemm(-1, a, x, 1, resid)
+		if mat.NormInf(resid) <= 1e-14*normB {
+			break
+		}
+		d, err := res.SolveManyFactoredContext(ctx, resid)
+		if err != nil {
+			return nil, nil, err
+		}
+		x.AddFrom(d)
+	}
+	return x, res, nil
+}
+
+// CommVolume replays the session algorithm's communication schedule at
+// dimension n in volume mode (no arithmetic, identical byte counts) and
+// returns the report, including the simulated α-β time under the session
+// machine (rep.Time).
+func (s *Session) CommVolume(ctx context.Context, n int) (*VolumeReport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: CommVolume requires n > 0", ErrShape)
+	}
+	cfg := s.engineConfig()
+	return s.run(ctx, s.cfg.ranks, false, func(c *smpi.Comm) error {
+		_, _, err := s.eng.Run(c, nil, n, cfg)
+		return err
+	})
+}
+
+// CommVolumeSolve replays a full factorize-plus-solve schedule at dimension
+// n in volume mode on one simulated world: the session algorithm's
+// factorization on the factorization ranks, then the distributed triangular
+// solve with the configured right-hand-side count on the solve ranks — the
+// same rank counts the numeric solve path uses. The returned report carries
+// the factorization phases alongside "solve.fwd"/"solve.back", so the
+// end-to-end communication volume and simulated α-β time of a solver
+// workload can be read off one run.
+func (s *Session) CommVolumeSolve(ctx context.Context, n int) (*VolumeReport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: CommVolumeSolve requires n > 0", ErrShape)
+	}
+	cfg := s.engineConfig()
+	sopt := trisolve.DefaultOptions(n, s.cfg.solveRanks, s.cfg.rhs)
+	world := s.cfg.ranks
+	if s.cfg.solveRanks > world {
+		world = s.cfg.solveRanks
+	}
+	// Each phase runs on its own prefix sub-communicator, so the grids see
+	// exactly the rank counts the numeric path gives them (grid ranks ==
+	// world ranks, which the engines' sub-grid construction relies on).
+	prefix := func(p int) []int {
+		out := make([]int, p)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	factorComm, solveComm := prefix(s.cfg.ranks), prefix(s.cfg.solveRanks)
+	return s.run(ctx, world, false, func(c *smpi.Comm) error {
+		if c.Rank() < s.cfg.ranks {
+			if _, _, err := s.eng.Run(c.Sub("factor", factorComm), nil, n, cfg); err != nil {
+				return err
+			}
+		}
+		if c.Rank() < s.cfg.solveRanks {
+			if _, err := trisolve.Run(c.Sub("solve", solveComm), nil, nil, sopt); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// FactorizeSPD runs the 2.5D Cholesky factorization (the paper conclusions'
+// extension kernel) of a symmetric positive definite matrix on the session
+// machine, returning the lower factor L with a = L·Lᵀ and the volume
+// report. It dispatches to the Cholesky engine regardless of the session's
+// configured LU algorithm.
+func (s *Session) FactorizeSPD(ctx context.Context, a *Matrix) (*Matrix, *VolumeReport, error) {
+	if a == nil || a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("%w: FactorizeSPD requires a square matrix", ErrShape)
+	}
+	n := a.Rows
+	eng, err := engine.Lookup(Cholesky)
+	if err != nil {
+		return nil, nil, publicErr(err)
+	}
+	cfg := s.engineConfig()
+	var l *Matrix
+	rep, err := s.run(ctx, s.cfg.ranks, true, func(c *smpi.Comm) error {
+		var in *Matrix
+		if c.Rank() == 0 {
+			in = a
+		}
+		lower, _, err := eng.Run(c, in, n, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			l = lower
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if l == nil {
+		return nil, nil, fmt.Errorf("conflux: no factor gathered at rank 0")
+	}
+	return l, rep, nil
+}
