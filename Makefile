@@ -53,14 +53,25 @@ cover:
 	$(GO) tool cover -func=coverage.out | tee coverage.txt
 
 # Compile and run every benchmark once — catches rotted benchmark code
-# without paying for real measurements.
+# without paying for real measurements. -short skips the paper-scale
+# (N=16384, P=1024) replay benchmark, which budgets a minute on its own.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -short ./...
 
-# Machine-readable smoke measurement (bytes + simulated α-β time per
-# algorithm); CI uploads BENCH_smoke.json as an artifact so the perf
-# trajectory is recorded run over run.
+# Machine-readable measurements, uploaded by CI so the perf trajectory is
+# recorded run over run:
+#  - BENCH_smoke.json: bytes + simulated α-β time per algorithm (the
+#    simulated machine's outputs); gitignored, artifact-only.
+#  - BENCH_scale.json: the host-side perf suite (wall clock + allocs per
+#    replay), compared against the committed pre-refactor baseline
+#    (BENCH_baseline.json, frozen — never regenerate it) by benchdiff —
+#    non-blocking, but >10% regressions fail loudly in the log. The
+#    committed copy is the paper-scale record; this target overwrites it
+#    with a small-scale run, so expect a dirty tree locally and re-commit
+#    only when refreshing the record (`-scale paper`).
 bench-json:
 	$(GO) run ./cmd/confluxbench -exp smoke -json BENCH_smoke.json
+	$(GO) run ./cmd/confluxbench -exp perf -scale small -json BENCH_scale.json
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_scale.json
 
 ci: fmt-check apicheck build test

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/pebble"
 	"repro/internal/smpi"
+	"repro/internal/trace"
 	"repro/internal/xpart"
 )
 
@@ -262,9 +263,81 @@ func BenchmarkFactorizeNumeric(b *testing.B) {
 	a := RandomMatrix(128, 9)
 	for _, algo := range []Algorithm{COnfLUX, LibSci} {
 		b.Run(string(algo), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Factorize(a, Options{Ranks: 4, Algorithm: algo}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Execution-core benchmarks: the host-side cost of replaying schedules on
+// the simulated machine, at the three scale presets. These are the
+// `go test -bench` counterparts of `confluxbench -exp perf` (whose JSON
+// records BENCH_baseline.json / BENCH_scale.json track the trajectory);
+// allocations per op are the refactor's second headline metric, so every
+// benchmark reports them. The paper-scale case (N=16,384, P=1,024 — the
+// §8 headline run) takes on the order of a minute and is skipped under
+// -short so smoke runs stay fast.
+
+func benchFactorizeVolume(b *testing.B, algo costmodel.Algorithm, n, p int) {
+	b.ReportAllocs()
+	mem := costmodel.MaxMemoryParams(n, p).M
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Measure(b.Context(), algo, n, p, mem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFactorizeVolumeSmall(b *testing.B) { benchFactorizeVolume(b, costmodel.COnfLUX, 256, 16) }
+func BenchmarkFactorizeVolumeMedium(b *testing.B) {
+	benchFactorizeVolume(b, costmodel.COnfLUX, 1024, 64)
+}
+
+func BenchmarkFactorizeVolumePaper(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale replay (N=16384, P=1024) skipped under -short")
+	}
+	benchFactorizeVolume(b, costmodel.COnfLUX, 16384, 1024)
+}
+
+func BenchmarkSolveVolume(b *testing.B) {
+	cases := []struct{ n, p, nrhs int }{{256, 16, 8}, {4096, 256, 16}}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("N=%d/P=%d/NRHS=%d", tc.n, tc.p, tc.nrhs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.MeasureSolve(b.Context(), tc.n, tc.p, tc.nrhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTimelineMerge measures the sharded trace substrate in isolation:
+// record matched deliveries round-robin across p ranks, then merge the
+// shards into the Report and Events views.
+func BenchmarkTimelineMerge(b *testing.B) {
+	cases := []struct{ p, events int }{{64, 200_000}, {1024, 1_000_000}}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("P=%d/events=%d", tc.p, tc.events), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tl := trace.NewTimeline(tc.p, trace.DefaultMachine())
+				for e := 0; e < tc.events; e++ {
+					from, to := e%tc.p, (e+1)%tc.p
+					st := tl.RecordSend(from, to, 1024, "merge")
+					tl.RecordRecv(from, to, 1024, "merge", st)
+				}
+				if tl.Report().TotalMsgs() != int64(tc.events) {
+					b.Fatal("merge lost messages")
+				}
+				if len(tl.Events()) != tc.events {
+					b.Fatal("merge lost events")
 				}
 			}
 		})

@@ -1,0 +1,106 @@
+// Command benchdiff compares two perf-suite JSON records (see
+// `confluxbench -exp perf -json`) case by case, benchstat-style: time,
+// allocations, and allocated bytes per op, with the relative change. It is
+// the non-blocking regression gate of `make bench-json`: regressions beyond
+// the threshold are flagged loudly in the log (and summarized on stderr),
+// but the exit status stays 0 unless -exit is set, so a noisy CI runner
+// cannot hard-fail the build on timing jitter.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] [-exit] OLD.json NEW.json
+//
+// Only cases present in both records are compared (records taken at
+// different scale presets share their common prefix of cases).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func load(path string) (*bench.PerfReport, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	var rep bench.PerfReport
+	if err := json.NewDecoder(fh).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func pct(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (float64(new) - float64(old)) / float64(old)
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "flag regressions beyond this percentage")
+	minAllocs := flag.Uint64("minallocs", 10_000, "ignore allocation regressions below this many allocs/op (relative noise on near-zero counts)")
+	hardExit := flag.Bool("exit", false, "exit non-zero when a time regression exceeds the threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-exit] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	oldByName := map[string]bench.PerfMeasurement{}
+	for _, m := range oldRep.Results {
+		oldByName[m.Name] = m
+	}
+	fmt.Printf("benchdiff %s (%s) -> %s (%s), regression threshold %.0f%%\n",
+		flag.Arg(0), oldRep.Scale, flag.Arg(1), newRep.Scale, *threshold)
+	fmt.Printf("%-44s %14s %14s %8s %10s %8s\n", "case", "old", "new", "Δtime", "Δallocs", "Δbytes")
+	regressions := 0
+	compared := 0
+	for _, m := range newRep.Results {
+		o, ok := oldByName[m.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		dt := pct(o.NsPerOp, m.NsPerOp)
+		da := pct(int64(o.AllocsPerOp), int64(m.AllocsPerOp))
+		db := pct(int64(o.BytesPerOp), int64(m.BytesPerOp))
+		mark := ""
+		if dt > *threshold {
+			mark = "  <<< REGRESSION: time"
+			regressions++
+		} else if da > *threshold && m.AllocsPerOp >= *minAllocs {
+			mark = "  <<< REGRESSION: allocs"
+			regressions++
+		}
+		fmt.Printf("%-44s %14s %14s %+7.1f%% %+9.1f%% %+7.1f%%%s\n",
+			m.Name, time.Duration(o.NsPerOp), time.Duration(m.NsPerOp), dt, da, db, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: the two records share no cases")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d case(s) regressed more than %.0f%% — inspect before merging\n",
+			regressions, *threshold)
+		if *hardExit {
+			os.Exit(1)
+		}
+	}
+}

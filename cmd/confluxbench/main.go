@@ -27,6 +27,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/bench"
@@ -78,56 +80,99 @@ var scales = map[string]scale{
 	},
 }
 
+// main delegates to realMain so every failure path unwinds normally:
+// os.Exit anywhere below the profiling defers would lose the CPU-profile
+// flush and the heap snapshot of exactly the runs one most wants profiled
+// (errors, SIGINT-canceled paper-scale sweeps).
 func main() {
-	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | all")
+	os.Exit(realMain())
+}
+
+func realMain() (code int) {
+	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | perf | all")
 	sc := flag.String("scale", "small", "scale preset: small | medium | paper")
 	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
 	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	alpha := flag.Float64("alpha", bench.Machine.Alpha, "α: per-message latency of the simulated machine (seconds)")
 	beta := flag.Float64("beta", bench.Machine.Beta, "β: per-byte transfer cost of the simulated machine (seconds/byte)")
-	jsonOut := flag.String("json", "", "with -exp smoke: write the machine-readable record to this path")
+	jsonOut := flag.String("json", "", "with -exp smoke|perf: write the machine-readable record to this path")
 	solveNRHS := flag.Int("nrhs", 0, "with -exp solve: override the scale preset's right-hand-side count")
+	workers := flag.Int("parallel", 0, "independent simulated worlds to run concurrently (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this path")
 	flag.Parse()
 	bench.Machine = costmodel.Machine{Alpha: *alpha, Beta: *beta}
+	bench.Workers = *workers
+	if *cpuprofile != "" {
+		fh, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer fh.Close()
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			fh, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				code = 1
+				return
+			}
+			defer fh.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(fh); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				code = 1
+			}
+		}()
+	}
 	// SIGINT/SIGTERM cancel the context, which aborts the in-flight
 	// simulated world mid-sweep instead of waiting a paper-scale run out.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	writeCSV := func(name string, f func(w *os.File) error) {
+	writeCSV := func(name string, f func(w *os.File) error) error {
 		if *csvDir == "" {
-			return
+			return nil
 		}
 		path := filepath.Join(*csvDir, name)
 		fh, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
-			os.Exit(1)
+			return fmt.Errorf("csv %s: %w", path, err)
 		}
 		defer fh.Close()
 		if err := f(fh); err != nil {
-			fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
-			os.Exit(1)
+			return fmt.Errorf("csv %s: %w", path, err)
 		}
 		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
 	if *exp == "cell" {
 		runCell(ctx, *cellN, *cellP)
-		return
+		return 0
 	}
 	s, ok := scales[*sc]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *sc)
-		os.Exit(2)
+		return 2
 	}
+	// The first failing experiment stops the sweep; later run() calls are
+	// no-ops and realMain returns non-zero after the defers flush.
 	run := func(name string, f func(scale) error) {
-		if *exp != "all" && *exp != name {
+		if code != 0 || (*exp != "all" && *exp != name) {
 			return
 		}
 		fmt.Printf("=== %s (scale %s) ===\n", name, *sc)
 		if err := f(s); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Println()
 	}
@@ -138,8 +183,7 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
-		writeCSV("table2.csv", func(w *os.File) error { return res.WriteCSV(w) })
-		return nil
+		return writeCSV("table2.csv", func(w *os.File) error { return res.WriteCSV(w) })
 	})
 	run("fig6a", func(s scale) error {
 		res, err := bench.RunFig6a(ctx, s.fig6aN, s.fig6aP)
@@ -147,8 +191,7 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
-		writeCSV("fig6a.csv", func(w *os.File) error { return res.WriteCSV(w) })
-		return nil
+		return writeCSV("fig6a.csv", func(w *os.File) error { return res.WriteCSV(w) })
 	})
 	run("fig6b", func(s scale) error {
 		res, err := bench.RunFig6b(ctx, s.fig6bBase, s.fig6bP)
@@ -156,8 +199,7 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
-		writeCSV("fig6b.csv", func(w *os.File) error { return res.WriteCSV(w) })
-		return nil
+		return writeCSV("fig6b.csv", func(w *os.File) error { return res.WriteCSV(w) })
 	})
 	run("fig7", func(s scale) error {
 		res, err := bench.RunFig7(ctx, s.fig7N, s.fig7P, s.fig7Measured)
@@ -165,7 +207,9 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
-		writeCSV("fig7.csv", func(w *os.File) error { return res.WriteCSV(w) })
+		if err := writeCSV("fig7.csv", func(w *os.File) error { return res.WriteCSV(w) }); err != nil {
+			return err
+		}
 		red, algo := bench.SummitPrediction(16384, 27648)
 		fmt.Printf("Summit full-scale prediction (N=16384, P=27648): %.2fx less than %s (paper: 2.1x)\n", red, algo)
 		fmt.Printf("CANDMC-vs-2D model crossover at N=16384: P ≈ %d ranks (paper: ≈450k)\n", bench.CrossoverReport(16384))
@@ -211,6 +255,24 @@ func main() {
 		}
 		return nil
 	})
+	run("perf", func(s scale) error {
+		rep, err := bench.RunPerf(ctx, *sc, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if *jsonOut != "" {
+			fh, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			if err := rep.WriteJSON(fh); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
 	run("solve", func(s scale) error {
 		nrhs := s.solveNRHS
 		if *solveNRHS > 0 {
@@ -221,8 +283,7 @@ func main() {
 			return err
 		}
 		res.Render(os.Stdout)
-		writeCSV("solve.csv", func(w *os.File) error { return res.WriteCSV(w) })
-		return nil
+		return writeCSV("solve.csv", func(w *os.File) error { return res.WriteCSV(w) })
 	})
 	run("sweep", func(s scale) error {
 		mem := float64(s.ablN) * float64(s.ablN) / 4
@@ -236,4 +297,5 @@ func main() {
 		}
 		return nil
 	})
+	return code
 }

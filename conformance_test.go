@@ -49,6 +49,10 @@ func TestConformanceLUEngines(t *testing.T) {
 			a := mat.Random(n, n, conformanceSeed(n, p))
 			for _, algo := range conformanceLU {
 				t.Run(fmt.Sprintf("%s/n=%d/p=%d", algo, n, p), func(t *testing.T) {
+					// Every case is a self-contained simulated world (own
+					// mailboxes, own timeline shards) reading the shared
+					// input matrix, so the matrix runs across host cores.
+					t.Parallel()
 					s := conformanceSession(t, algo, p)
 					res, err := s.Factorize(t.Context(), a)
 					if err != nil {
@@ -70,6 +74,7 @@ func TestConformanceCholesky(t *testing.T) {
 	for _, n := range conformanceDims {
 		for _, p := range conformanceRanks {
 			t.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(t *testing.T) {
+				t.Parallel() // self-contained world per case, as above
 				a := testutil.SPD(n, conformanceSeed(n, p))
 				// Note: at awkward rank counts (e.g. p=3) the square-layer
 				// grid optimizer may disable all but one rank, so the

@@ -130,16 +130,14 @@ func Measure(ctx context.Context, algo costmodel.Algorithm, n, p int, mem float6
 }
 
 // MeasureAll measures every algorithm at the paper's memory setting
-// M = N²/P^{2/3} (maximum replication, Fig. 6 caption).
+// M = N²/P^{2/3} (maximum replication, Fig. 6 caption). The algorithms'
+// worlds are independent, so they run concurrently through the parallel
+// runner; the result order is always costmodel.Algorithms order.
 func MeasureAll(ctx context.Context, n, p int) ([]Measurement, error) {
 	params := costmodel.MaxMemoryParams(n, p)
-	out := make([]Measurement, 0, len(costmodel.Algorithms))
+	jobs := make([]measureJob, 0, len(costmodel.Algorithms))
 	for _, algo := range costmodel.Algorithms {
-		m, err := Measure(ctx, algo, n, p, params.M)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
+		jobs = append(jobs, measureJob{algo: algo, n: n, p: p, mem: params.M})
 	}
-	return out, nil
+	return measureMany(ctx, jobs)
 }

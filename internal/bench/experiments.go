@@ -18,19 +18,24 @@ type Table2Result struct {
 }
 
 // RunTable2 measures the given problem sizes and rank counts (the paper uses
-// N ∈ {4096, 16384}, P ∈ {64, 1024}).
+// N ∈ {4096, 16384}, P ∈ {64, 1024}). All cells × algorithms are flattened
+// into one job list for the parallel runner; row order is (n, p, algorithm)
+// regardless of completion order.
 func RunTable2(ctx context.Context, ns, ps []int) (*Table2Result, error) {
-	res := &Table2Result{}
+	var jobs []measureJob
 	for _, n := range ns {
 		for _, p := range ps {
-			ms, err := MeasureAll(ctx, n, p)
-			if err != nil {
-				return nil, err
+			mem := costmodel.MaxMemoryParams(n, p).M
+			for _, algo := range costmodel.Algorithms {
+				jobs = append(jobs, measureJob{algo: algo, n: n, p: p, mem: mem})
 			}
-			res.Rows = append(res.Rows, ms...)
 		}
 	}
-	return res, nil
+	rows, err := measureMany(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{Rows: rows}, nil
 }
 
 // TableCell measures one (N, P) cell of Table 2 and returns pre-rendered
@@ -84,16 +89,20 @@ type Fig6aResult struct {
 
 // RunFig6a sweeps rank counts at fixed N (paper: N = 16384, P up to 1024,
 // including non-powers that trigger the 2D libraries' bad-grid outliers).
+// The sweep is flattened across the parallel runner.
 func RunFig6a(ctx context.Context, n int, ps []int) (*Fig6aResult, error) {
-	res := &Fig6aResult{N: n}
+	var jobs []measureJob
 	for _, p := range ps {
-		ms, err := MeasureAll(ctx, n, p)
-		if err != nil {
-			return nil, err
+		mem := costmodel.MaxMemoryParams(n, p).M
+		for _, algo := range costmodel.Algorithms {
+			jobs = append(jobs, measureJob{algo: algo, n: n, p: p, mem: mem})
 		}
-		res.Points = append(res.Points, ms...)
 	}
-	return res, nil
+	points, err := measureMany(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6aResult{N: n, Points: points}, nil
 }
 
 // Render prints one series row per (P, algorithm): measured per-node MB,
@@ -127,17 +136,22 @@ func WeakScalingN(base, p int) int {
 	return n
 }
 
-// RunFig6b sweeps P with N = base·∛P (paper: base = 3200).
+// RunFig6b sweeps P with N = base·∛P (paper: base = 3200), flattened across
+// the parallel runner.
 func RunFig6b(ctx context.Context, base int, ps []int) (*Fig6bResult, error) {
-	res := &Fig6bResult{Base: base}
+	var jobs []measureJob
 	for _, p := range ps {
-		ms, err := MeasureAll(ctx, WeakScalingN(base, p), p)
-		if err != nil {
-			return nil, err
+		n := WeakScalingN(base, p)
+		mem := costmodel.MaxMemoryParams(n, p).M
+		for _, algo := range costmodel.Algorithms {
+			jobs = append(jobs, measureJob{algo: algo, n: n, p: p, mem: mem})
 		}
-		res.Points = append(res.Points, ms...)
 	}
-	return res, nil
+	points, err := measureMany(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6bResult{Base: base, Points: points}, nil
 }
 
 // Render prints per-node volumes; flat series identify the 2.5D algorithms.

@@ -59,15 +59,20 @@ type SolveResult struct {
 	Points  []SolveMeasurement
 }
 
-// RunSolve sweeps rank counts at fixed n with nrhs right-hand sides.
+// RunSolve sweeps rank counts at fixed n with nrhs right-hand sides; the
+// points run concurrently through the parallel runner in ps order.
 func RunSolve(ctx context.Context, n int, ps []int, nrhs int) (*SolveResult, error) {
-	res := &SolveResult{N: n, NRHS: nrhs}
-	for _, p := range ps {
-		m, err := MeasureSolve(ctx, n, p, nrhs)
+	res := &SolveResult{N: n, NRHS: nrhs, Points: make([]SolveMeasurement, len(ps))}
+	err := ForEach(ctx, len(ps), func(ctx context.Context, i int) error {
+		m, err := MeasureSolve(ctx, n, ps[i], nrhs)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, m)
+		res.Points[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -18,12 +18,12 @@ type colLayout struct {
 }
 
 func (e *engine) colsAfter(y, t int) colLayout {
-	var cl colLayout
-	for _, tj := range e.bc.LocalTileCols(y, t+1) {
+	tjs := e.bc.LocalTileCols(y, t+1)
+	cl := colLayout{tjs: tjs, offs: make([]int, len(tjs)), widths: make([]int, len(tjs))}
+	for i, tj := range tjs {
 		_, w := e.bc.TileDims(tj, tj)
-		cl.tjs = append(cl.tjs, tj)
-		cl.offs = append(cl.offs, cl.total)
-		cl.widths = append(cl.widths, w)
+		cl.offs[i] = cl.total
+		cl.widths[i] = w
 		cl.total += w
 	}
 	return cl

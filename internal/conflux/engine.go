@@ -80,6 +80,7 @@ func (e *engine) run(a *mat.Matrix) (*Result, error) {
 	for i := range e.mask {
 		e.mask[i] = true
 	}
+	e.activeByRow = nil // rebuilt from the fresh mask on first refresh
 	if e.layer == 0 {
 		dist.Scatter(e.world, 0, a, e.g, e.store)
 	}
@@ -121,21 +122,31 @@ func (e *engine) run(a *mat.Matrix) (*Result, error) {
 	return res, nil
 }
 
-// refreshActive rebuilds the per-grid-row active lists in one O(N) sweep;
-// every consumer within a step reads the cache (the naive per-call scan was
-// O(N·Pr) per step and dominated paper-scale volume runs).
+// refreshActive maintains the per-grid-row active lists; every consumer
+// within a step reads the cache (the naive per-call scan was O(N·Pr) per
+// step and dominated paper-scale volume runs). The mask only ever clears
+// (rows retire as pivots, none return), so after the initial O(N) build
+// each refresh just filters the surviving entries in place — O(active),
+// which shrinks to nothing as the factorization drains the row set.
 func (e *engine) refreshActive() {
 	if e.activeByRow == nil {
 		e.activeByRow = make([][]int, e.g.Pr)
-	}
-	for gr := range e.activeByRow {
-		e.activeByRow[gr] = e.activeByRow[gr][:0]
-	}
-	for r := 0; r < e.opt.N; r++ {
-		if e.mask[r] {
-			gr := (r / e.opt.V) % e.g.Pr
-			e.activeByRow[gr] = append(e.activeByRow[gr], r)
+		for r := 0; r < e.opt.N; r++ {
+			if e.mask[r] {
+				gr := (r / e.opt.V) % e.g.Pr
+				e.activeByRow[gr] = append(e.activeByRow[gr], r)
+			}
 		}
+		return
+	}
+	for gr, rows := range e.activeByRow {
+		live := rows[:0]
+		for _, r := range rows {
+			if e.mask[r] {
+				live = append(live, r)
+			}
+		}
+		e.activeByRow[gr] = live
 	}
 }
 
@@ -321,7 +332,7 @@ func (e *engine) factorizeA10(t int, stack *mat.Matrix, rows []int) {
 // owner plus the assigned layer's consumer row, deduplicated, owner first.
 func a10Members(g grid.Grid, gr, ownerCol, lstar int) (members []int, rootIdx int) {
 	owner := g.Rank(gr, ownerCol, 0)
-	members = []int{owner}
+	members = append(make([]int, 0, g.Pc+1), owner)
 	for y := 0; y < g.Pc; y++ {
 		r := g.Rank(gr, y, lstar)
 		if r != owner {

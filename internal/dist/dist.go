@@ -22,25 +22,49 @@ import (
 )
 
 // Store holds the tiles of one rank — grid position (row, col, layer) — under
-// the block-cyclic mapping bc. Tiles materialize lazily on first access, so a
-// store created on a non-zero replication layer starts as an all-zero
-// accumulator without touching memory it never uses. A Store belongs to one
-// rank (one goroutine) and is not safe for concurrent use.
+// the block-cyclic mapping bc. The rank's tiles live in a flat slice over its
+// local tile grid: tile (ti, tj) with ti ≡ row (mod Pr) and tj ≡ col (mod Pc)
+// sits at local coordinates (ti/Pr, tj/Pc), row-major — an index computation
+// instead of a map hash on every access. Tiles still materialize lazily on
+// first access (the slice holds nil until then), so a store created on a
+// non-zero replication layer starts as an all-zero accumulator without
+// touching payload memory it never uses. A Store belongs to one rank (one
+// goroutine) and is not safe for concurrent use.
 type Store struct {
 	bc              grid.BlockCyclic
 	row, col, layer int
 	payload         bool
-	tiles           map[int]*mat.Matrix
+
+	localCols int           // tile columns this rank owns (tj ≡ col mod Pc)
+	tiles     []*mat.Matrix // localRows × localCols, row-major, nil = not yet materialized
+	allocated int           // non-nil entries, kept so Allocated() is O(1)
+}
+
+// localCount returns how many indices in [0, tiles) map to grid position
+// `pos` under the cyclic map (i.e. i ≡ pos mod stride).
+func localCount(tiles, pos, stride int) int {
+	if tiles <= pos {
+		return 0
+	}
+	return (tiles - pos + stride - 1) / stride
 }
 
 // NewStore creates the tile store for the rank at grid position (row, col,
 // layer). payload=false selects volume mode: every tile and buffer the store
-// hands out is phantom.
+// hands out is phantom, and the store allocates no payload memory — only the
+// flat pointer grid over its local tiles.
 func NewStore(bc grid.BlockCyclic, row, col, layer int, payload bool) *Store {
 	if row < 0 || row >= bc.G.Pr || col < 0 || col >= bc.G.Pc || layer < 0 || layer >= bc.G.Layers {
 		panic(fmt.Sprintf("dist: position (%d,%d,%d) outside %dx%dx%d grid", row, col, layer, bc.G.Pr, bc.G.Pc, bc.G.Layers))
 	}
-	return &Store{bc: bc, row: row, col: col, layer: layer, payload: payload, tiles: map[int]*mat.Matrix{}}
+	nt := bc.Tiles()
+	localRows := localCount(nt, row, bc.G.Pr)
+	localCols := localCount(nt, col, bc.G.Pc)
+	return &Store{
+		bc: bc, row: row, col: col, layer: layer, payload: payload,
+		localCols: localCols,
+		tiles:     make([]*mat.Matrix, localRows*localCols),
+	}
 }
 
 // Payload reports whether the store carries numeric data (false = phantom).
@@ -53,7 +77,8 @@ func (s *Store) Owns(ti, tj int) bool {
 
 // Tile returns the local tile (ti, tj), allocating it zeroed (or phantom) on
 // first access. It panics if the tile is out of range or owned by another
-// rank — engines indexing a foreign tile is always a schedule bug.
+// rank — engines indexing a foreign tile is always a schedule bug. The hot
+// path is a flat-slice index over the local tile grid: (ti/Pr, tj/Pc).
 func (s *Store) Tile(ti, tj int) *mat.Matrix {
 	nt := s.bc.Tiles()
 	if ti < 0 || ti >= nt || tj < 0 || tj >= nt {
@@ -63,11 +88,12 @@ func (s *Store) Tile(ti, tj int) *mat.Matrix {
 		panic(fmt.Sprintf("dist: tile (%d,%d) belongs to grid position (%d,%d), not (%d,%d)",
 			ti, tj, s.bc.OwnerRow(ti), s.bc.OwnerCol(tj), s.row, s.col))
 	}
-	key := ti*nt + tj
-	t := s.tiles[key]
+	idx := (ti/s.bc.G.Pr)*s.localCols + tj/s.bc.G.Pc
+	t := s.tiles[idx]
 	if t == nil {
 		t = s.NewBuffer(s.bc.TileDims(ti, tj))
-		s.tiles[key] = t
+		s.tiles[idx] = t
+		s.allocated++
 	}
 	return t
 }
@@ -84,7 +110,7 @@ func (s *Store) NewBuffer(rows, cols int) *mat.Matrix {
 }
 
 // Allocated returns the number of tiles materialized so far (test hook).
-func (s *Store) Allocated() int { return len(s.tiles) }
+func (s *Store) Allocated() int { return s.allocated }
 
 // eachOwnedTile visits this rank's tiles in deterministic (ti, tj) ascending
 // order — the iteration order both collectives rely on.

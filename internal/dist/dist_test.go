@@ -188,6 +188,78 @@ func TestTileLazyAllocation(t *testing.T) {
 	}
 }
 
+// TestFlatStoreIndexBijective pins the flat-slice index math of the store:
+// across every grid position, materializing all owned tiles yields exactly
+// ceil-distributed counts, pairwise-distinct tile objects with the right
+// dimensions, and stable identity on re-access. Any collision in the
+// (ti/Pr, tj/Pc) flattening would surface here as shared or misshapen tiles.
+func TestFlatStoreIndexBijective(t *testing.T) {
+	for _, g := range []grid.Grid{
+		{Pr: 2, Pc: 3, Layers: 1, Total: 6},
+		{Pr: 3, Pc: 2, Layers: 2, Total: 12},
+		{Pr: 1, Pc: 1, Layers: 1, Total: 1},
+		{Pr: 5, Pc: 4, Layers: 1, Total: 20}, // more grid rows than edge tiles
+	} {
+		for _, n := range []int{1, 7, 13, 16} {
+			bc := grid.BlockCyclic{G: g, V: 4, N: n}
+			for row := 0; row < g.Pr; row++ {
+				for col := 0; col < g.Pc; col++ {
+					s := dist.NewStore(bc, row, col, 0, true)
+					seen := map[*mat.Matrix]bool{}
+					count := 0
+					for _, ti := range bc.LocalTileRows(row, 0) {
+						for _, tj := range bc.LocalTileCols(col, 0) {
+							tile := s.Tile(ti, tj)
+							if seen[tile] {
+								t.Fatalf("grid %+v n=%d pos (%d,%d): tile (%d,%d) aliases another tile", g, n, row, col, ti, tj)
+							}
+							seen[tile] = true
+							wr, wc := bc.TileDims(ti, tj)
+							if tile.Rows != wr || tile.Cols != wc {
+								t.Fatalf("tile (%d,%d) is %dx%d, want %dx%d", ti, tj, tile.Rows, tile.Cols, wr, wc)
+							}
+							if s.Tile(ti, tj) != tile {
+								t.Fatalf("tile (%d,%d) identity not stable", ti, tj)
+							}
+							count++
+						}
+					}
+					if got := s.Allocated(); got != count {
+						t.Fatalf("grid %+v n=%d pos (%d,%d): Allocated() = %d, want %d", g, n, row, col, got, count)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPhantomStoreAllocatesNoPayload re-pins the lazy/volume-mode contract
+// after the flat-slice change: a fresh volume-mode store reports zero
+// materialized tiles, materialization is per-tile (not whole-grid), and no
+// tile it ever hands out carries backing data.
+func TestPhantomStoreAllocatesNoPayload(t *testing.T) {
+	g := grid.Grid{Pr: 2, Pc: 2, Layers: 1, Total: 4}
+	bc := grid.BlockCyclic{G: g, V: 4, N: 19} // 5 tiles: uneven local grids
+	s := dist.NewStore(bc, 1, 0, 0, false)
+	if s.Allocated() != 0 {
+		t.Fatalf("fresh store allocated %d tiles", s.Allocated())
+	}
+	first := s.Tile(1, 0)
+	if !first.Phantom() {
+		t.Fatal("volume-mode tile carries payload")
+	}
+	if s.Allocated() != 1 {
+		t.Fatalf("one access materialized %d tiles, want exactly 1 (lazy per tile)", s.Allocated())
+	}
+	for _, ti := range bc.LocalTileRows(1, 0) {
+		for _, tj := range bc.LocalTileCols(0, 0) {
+			if !s.Tile(ti, tj).Phantom() {
+				t.Fatalf("tile (%d,%d) carries payload in volume mode", ti, tj)
+			}
+		}
+	}
+}
+
 func TestNewBufferRespectsPayloadMode(t *testing.T) {
 	bc := grid.BlockCyclic{G: grid.Grid{Pr: 1, Pc: 1, Layers: 1, Total: 1}, V: 4, N: 8}
 	numeric := dist.NewStore(bc, 0, 0, 0, true)

@@ -141,24 +141,31 @@ func (b BlockCyclic) TileDims(ti, tj int) (rows, cols int) {
 	return rows, cols
 }
 
-// LocalTileRows returns the tile-row indices >= from owned by grid row `row`.
-func (b BlockCyclic) LocalTileRows(row, from int) []int {
-	var out []int
-	for ti := from; ti < b.Tiles(); ti++ {
-		if b.OwnerRow(ti) == row {
-			out = append(out, ti)
-		}
+// localIndices returns the indices in [from, tiles) congruent to pos mod
+// stride — the shared body of LocalTileRows/Cols. The result is exactly
+// sized and strided directly: these lists are rebuilt on every engine step,
+// so they must cost one allocation and no scan of foreign indices.
+func localIndices(tiles, pos, stride, from int) []int {
+	if from < 0 {
+		from = 0
+	}
+	first := from + (pos-from%stride+stride)%stride // smallest i >= from with i ≡ pos (mod stride)
+	if first >= tiles {
+		return nil
+	}
+	out := make([]int, 0, (tiles-first+stride-1)/stride)
+	for i := first; i < tiles; i += stride {
+		out = append(out, i)
 	}
 	return out
 }
 
+// LocalTileRows returns the tile-row indices >= from owned by grid row `row`.
+func (b BlockCyclic) LocalTileRows(row, from int) []int {
+	return localIndices(b.Tiles(), row, b.G.Pr, from)
+}
+
 // LocalTileCols returns the tile-col indices >= from owned by grid col `col`.
 func (b BlockCyclic) LocalTileCols(col, from int) []int {
-	var out []int
-	for tj := from; tj < b.Tiles(); tj++ {
-		if b.OwnerCol(tj) == col {
-			out = append(out, tj)
-		}
-	}
-	return out
+	return localIndices(b.Tiles(), col, b.G.Pc, from)
 }

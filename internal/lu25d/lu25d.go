@@ -148,7 +148,9 @@ func (e *engine) run(a *mat.Matrix) (*Result, error) {
 // rowsInGridRow lists global rows >= lo owned by grid row gr, iterating by
 // tile (O(result + tiles/Pr), not O(N)).
 func (e *engine) rowsInGridRow(gr, lo int) []int {
-	var out []int
+	// Exact-size hint: ~1/Pr of the remaining rows live in each grid row;
+	// the +V slack absorbs tile-boundary rounding so growth never reallocs.
+	out := make([]int, 0, (e.opt.N-lo)/e.g.Pr+e.opt.V)
 	v := e.opt.V
 	for ti := lo / v; ti*v < e.opt.N; ti++ {
 		if ti%e.g.Pr != gr {

@@ -16,12 +16,12 @@ type rowLayout struct {
 }
 
 func (e *engine) colsFrom(from int) rowLayout {
-	var cl rowLayout
-	for _, tj := range e.bc.LocalTileCols(e.col, from) {
+	tjs := e.bc.LocalTileCols(e.col, from)
+	cl := rowLayout{tjs: tjs, offs: make([]int, len(tjs)), widths: make([]int, len(tjs))}
+	for i, tj := range tjs {
 		_, w := e.bc.TileDims(tj, tj)
-		cl.tjs = append(cl.tjs, tj)
-		cl.offs = append(cl.offs, cl.total)
-		cl.widths = append(cl.widths, w)
+		cl.offs[i] = cl.total
+		cl.widths[i] = w
 		cl.total += w
 	}
 	return cl

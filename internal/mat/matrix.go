@@ -22,18 +22,21 @@ type Matrix struct {
 	Data       []float64
 }
 
-// New allocates a zeroed r×c matrix.
+// New allocates a zeroed r×c matrix. Inlinable, so a transient buffer whose
+// header does not escape costs only its data slice.
 func New(r, c int) *Matrix {
-	if r < 0 || c < 0 {
-		panic(fmt.Sprintf("mat: negative dimensions %dx%d", r, c))
+	if r|c < 0 {
+		panic("mat: negative dimensions")
 	}
 	return &Matrix{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
 }
 
-// NewPhantom creates an r×c matrix with no backing storage.
+// NewPhantom creates an r×c matrix with no backing storage. Inlinable for
+// the same reason as View: volume-mode engines create phantom scratch
+// constantly, and a buffer consumed in-statement stays off the heap.
 func NewPhantom(r, c int) *Matrix {
-	if r < 0 || c < 0 {
-		panic(fmt.Sprintf("mat: negative dimensions %dx%d", r, c))
+	if r|c < 0 {
+		panic("mat: negative dimensions")
 	}
 	return &Matrix{Rows: r, Cols: c, Stride: c}
 }
@@ -95,14 +98,22 @@ func (m *Matrix) Row(i int) []float64 {
 
 // View returns a sub-matrix aliasing rows [i, i+r) and columns [j, j+c).
 // A view of a phantom matrix is phantom with the requested shape.
+//
+// View is deliberately inlinable (the panic carries a constant message for
+// exactly that reason — a formatted one costs more than the whole body):
+// engines take views on both sides of nearly every tile copy, and when the
+// view is consumed in-statement (CopyFrom, SendMat, a kernel call) escape
+// analysis keeps the header on the caller's stack — at paper scale that
+// removes the single largest allocation source of a schedule replay.
 func (m *Matrix) View(i, j, r, c int) *Matrix {
-	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
-		panic(fmt.Sprintf("mat: view (%d,%d,%d,%d) out of %dx%d", i, j, r, c, m.Rows, m.Cols))
+	if i|j|r|c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic("mat: view out of range")
 	}
-	if m.Data == nil {
-		return &Matrix{Rows: r, Cols: c, Stride: c}
+	stride, data := c, []float64(nil)
+	if m.Data != nil {
+		stride, data = m.Stride, m.Data[i*m.Stride+j:]
 	}
-	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
+	return &Matrix{Rows: r, Cols: c, Stride: stride, Data: data}
 }
 
 // Clone returns a compact deep copy (phantomness preserved).
@@ -166,16 +177,29 @@ func (m *Matrix) Pack() []float64 {
 	if m.Data == nil {
 		return nil
 	}
+	return m.PackInto(make([]float64, m.Rows*m.Cols))
+}
+
+// PackInto serializes the matrix contents into dst, which must have length
+// Rows*Cols, and returns dst — the allocation-free counterpart of Pack for
+// callers that lease wire buffers (smpi's pooled SendMat). Phantom matrices
+// return nil without touching dst.
+func (m *Matrix) PackInto(dst []float64) []float64 {
+	if m.Data == nil {
+		return nil
+	}
+	n := m.Rows * m.Cols
+	if len(dst) != n {
+		panic(fmt.Sprintf("mat: PackInto buffer length %d != %d", len(dst), n))
+	}
 	if m.Stride == m.Cols {
-		out := make([]float64, m.Rows*m.Cols)
-		copy(out, m.Data[:m.Rows*m.Cols])
-		return out
+		copy(dst, m.Data[:n])
+		return dst
 	}
-	out := make([]float64, 0, m.Rows*m.Cols)
 	for i := 0; i < m.Rows; i++ {
-		out = append(out, m.Row(i)...)
+		copy(dst[i*m.Cols:(i+1)*m.Cols], m.Row(i))
 	}
-	return out
+	return dst
 }
 
 // Unpack fills the matrix from a compact row-major slice. nil data leaves a

@@ -106,7 +106,11 @@ func (c *Comm) AllreduceMaxLoc(in MaxLoc) MaxLoc {
 		}
 		return a
 	}
-	enc := func(m MaxLoc) Msg { return Msg{F: []float64{m.Val}, I: []int{m.Loc}, N: 2} }
+	enc := func(m MaxLoc) Msg {
+		f := getFloats(1)
+		f[0] = m.Val
+		return Msg{F: f, I: getInts1(m.Loc), N: 2}
+	}
 	dec := func(msg Msg) MaxLoc {
 		out := MaxLoc{Loc: msg.I[0]}
 		if msg.F != nil {
@@ -114,8 +118,16 @@ func (c *Comm) AllreduceMaxLoc(in MaxLoc) MaxLoc {
 		}
 		return out
 	}
-	res := c.Butterfly(enc(in), func(mine, theirs Msg) Msg {
-		return enc(combine(dec(mine), dec(theirs)))
+	// The running value is tracked decoded (cur) rather than re-read from
+	// the in-flight Msg: a sent wire pair belongs to its receiver, who
+	// recycles it below — reading `mine` after the send would race with
+	// the peer reusing the buffer.
+	cur := in
+	res := c.Butterfly(enc(in), func(_, theirs Msg) Msg {
+		cur = combine(cur, dec(theirs))
+		putFloats(theirs.F)
+		putInts1(theirs.I)
+		return enc(cur)
 	})
 	return dec(res)
 }

@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/mat"
@@ -80,29 +79,15 @@ type Msg struct {
 	sendPhase string
 }
 
+// msgKey identifies one point-to-point stream. The communicator component
+// is pre-hashed (commID computes it once at communicator creation), so the
+// per-message map hash mixes three scalars — and both put and take hash it
+// exactly once per message; the matched-receive wait loop holds the queue
+// pointer across wakeups instead of re-indexing the map.
 type msgKey struct {
 	src  int
 	comm uint64
 	tag  int
-}
-
-type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    map[msgKey][]Msg
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{q: make(map[msgKey][]Msg)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-func (mb *mailbox) put(k msgKey, m Msg) {
-	mb.mu.Lock()
-	mb.q[k] = append(mb.q[k], m)
-	mb.mu.Unlock()
-	mb.cond.Broadcast()
 }
 
 // ErrAborted is the panic value raised in ranks blocked on Recv when
@@ -124,25 +109,6 @@ func (w *World) Abort() {
 		mb.cond.Broadcast()
 		mb.mu.Unlock()
 	}
-}
-
-func (mb *mailbox) take(w *World, k msgKey) Msg {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for len(mb.q[k]) == 0 {
-		if w.aborted.Load() {
-			panic(ErrAborted)
-		}
-		mb.cond.Wait()
-	}
-	m := mb.q[k][0]
-	rest := mb.q[k][1:]
-	if len(rest) == 0 {
-		delete(mb.q, k)
-	} else {
-		mb.q[k] = rest
-	}
-	return m
 }
 
 // Comm is one rank's handle on a communicator (a subset of world ranks).
@@ -254,17 +220,28 @@ func (c *Comm) Recv(from, tag int) Msg {
 }
 
 // SendMat sends a matrix (payload in numeric mode, count-only otherwise).
+// Phantom matrices take a zero-allocation fast path: the enqueued Msg is a
+// plain value carrying only the metered element count. Numeric payloads are
+// packed into a pooled wire buffer owned by the runtime until the matching
+// RecvMat copies it out and recycles it.
 func (c *Comm) SendMat(to, tag int, m *mat.Matrix) {
-	c.Send(to, tag, Msg{F: m.Pack(), N: m.Len()})
+	if m.Phantom() {
+		c.Send(to, tag, Msg{N: m.Len()})
+		return
+	}
+	c.Send(to, tag, Msg{F: m.PackInto(getFloats(m.Len())), N: m.Len()})
 }
 
-// RecvMat receives into dst (shape must match the metered count).
+// RecvMat receives into dst (shape must match the metered count) and
+// returns the wire buffer to the runtime's pool — the payload is fully
+// copied into dst, so no reference survives the call.
 func (c *Comm) RecvMat(from, tag int, dst *mat.Matrix) {
 	msg := c.Recv(from, tag)
 	if msg.N != dst.Len() {
 		panic(fmt.Sprintf("smpi: RecvMat expected %d elements, got %d", dst.Len(), msg.N))
 	}
 	dst.Unpack(msg.F)
+	putFloats(msg.F)
 }
 
 // SendInts sends integer metadata (metered at 8 bytes per value).

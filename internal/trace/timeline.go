@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Machine is the α-β (latency–bandwidth) machine model used to advance the
@@ -55,11 +56,88 @@ type Event struct {
 // matrices the volume mode exists to avoid).
 const DefaultEventCap = 1 << 20
 
+// shard is one rank's slice of the timeline: its volume aggregates, its
+// logical clock, and the events it completed. A point-to-point delivery
+// touches only the two endpoint ranks' shards — the sender's under its
+// mutex at injection, the receiver's under its mutex at matching (plus one
+// lock-free add for the received-bytes aggregate) — so there is no global
+// serialization point at paper scale (P = 1,024 ranks delivering tens of
+// millions of messages).
+//
+// Lock-free fields: sent/recv/msgs are atomics because RecordOneSided
+// attributes volume to ranks other than the one whose mutex it holds (a Get
+// meters bytes sent by the passive target). Everything else on a shard is
+// written only under its mutex, and only clock-carrying operations of this
+// rank take it.
+// phaseStat is one phase's attribution on one shard: the bytes/msgs this
+// rank originated under the label, and the busy time it accrued in it (send,
+// recv, and one-sided sides alike). A rank touches a handful of phases, so
+// the stats live in a small slice scanned linearly — one lookup per record
+// where the map-based layout paid three hashes plus the untimed-set probe
+// (timed is resolved once, when the label first appears on the shard).
+type phaseStat struct {
+	name  string
+	timed bool
+	bytes int64
+	msgs  int64
+	busy  float64
+}
+
+type shard struct {
+	mu sync.Mutex
+
+	// Volume aggregates — exactly the state the pre-timeline Counter kept
+	// per rank, so the merged Report() stays byte-identical. Atomics
+	// because RecordOneSided attributes volume across shards (see below).
+	sent atomic.Int64
+	recv atomic.Int64
+	msgs atomic.Int64
+
+	// Per-phase attribution, in first-use order (deterministic: fixed by
+	// this rank's program order). Report() sums the shards' stats, which
+	// reproduces the old global maps exactly: integer addition is
+	// order-independent, and busy times are never summed across ranks.
+	phases []phaseStat
+
+	// Timing state of this rank. busy is α-β work; wait is clock jumps on
+	// matching. timedMsgs counts messages injected in timed phases only —
+	// the latency-critical-path counterpart of the msgs aggregate.
+	clock     float64
+	busy      float64
+	wait      float64
+	timedMsgs int64
+
+	// Events this rank completed (received, or originated one-sided), in
+	// its program order. Retention is globally capped; see appendEvent.
+	events  []Event
+	dropped int64
+
+	// Padding to a multiple of the cache line (120 field bytes + 8 = two
+	// 64-byte lines) so adjacent shards in the backing array do not
+	// false-share under concurrent delivery; TestShardSizeCacheAligned
+	// pins the arithmetic against field drift.
+	_ [8]byte
+}
+
+// phase returns the shard's stat for name, creating it on first use (the
+// only point the untimed set is consulted). Scanned newest-first: traffic
+// clusters in the phase set most recently.
+func (s *shard) phase(name string, untimed map[string]bool) *phaseStat {
+	for i := len(s.phases) - 1; i >= 0; i-- {
+		if s.phases[i].name == name {
+			return &s.phases[i]
+		}
+	}
+	s.phases = append(s.phases, phaseStat{name: name, timed: !untimed[name]})
+	return &s.phases[len(s.phases)-1]
+}
+
 // Timeline is the per-rank event-timeline substrate behind every simulated
 // run: it meters communication volume exactly as the paper's Score-P
 // methodology counts it (per sending rank, per phase) and simultaneously
 // advances per-rank logical clocks under the α-β model. It is safe for
-// concurrent use by all ranks of a simulated world.
+// concurrent use by all ranks of a simulated world; state is sharded per
+// rank, so concurrent deliveries between disjoint rank pairs never contend.
 //
 // Clock rules (see DESIGN.md §7):
 //
@@ -68,53 +146,30 @@ const DefaultEventCap = 1 << 20
 //	             clock[r] += α + β·bytes          (reception, busy time)
 //	self-sends and local RMA access advance nothing (memory moves).
 type Timeline struct {
-	mu      sync.Mutex
 	p       int
 	machine Machine
+	shards  []shard
 
-	// Volume aggregates, updated at send time — exactly the state the
-	// pre-timeline Counter kept, so Report() stays byte-identical.
-	sent      []int64
-	recv      []int64
-	msgs      []int64
-	byPhase   map[string]int64
-	phaseMsgs map[string]int64
-
-	// Timing state. busy is α-β work; wait is clock jumps on matching.
-	// timedMsgs counts messages injected per rank in timed phases only —
-	// the latency-critical-path counterpart of the msgs aggregate.
-	clock     []float64
-	busy      []float64
-	wait      []float64
-	busyPhase []map[string]float64
-	timedMsgs []int64
+	// nEvents is the global retention counter backing the event cap.
+	nEvents  atomic.Int64
+	eventCap atomic.Int64
 
 	// untimed phases are metered for volume but advance no clocks — the
 	// paper's §7.4 assumption that the input "is already distributed in
 	// the block cyclic layout" applied to simulated time: the layout
-	// scatter and verification gather cost nothing.
+	// scatter and verification gather cost nothing. Written only before
+	// the run starts (ExcludeFromTiming), read without locks during it.
 	untimed map[string]bool
-
-	events   []Event
-	eventCap int
-	dropped  int64
 }
 
 // NewTimeline creates the timeline for p ranks under machine m.
 func NewTimeline(p int, m Machine) *Timeline {
 	t := &Timeline{
 		p: p, machine: m,
-		sent: make([]int64, p), recv: make([]int64, p), msgs: make([]int64, p),
-		byPhase: map[string]int64{}, phaseMsgs: map[string]int64{},
-		clock: make([]float64, p), busy: make([]float64, p), wait: make([]float64, p),
-		busyPhase: make([]map[string]float64, p),
-		timedMsgs: make([]int64, p),
-		untimed:   map[string]bool{},
-		eventCap:  DefaultEventCap,
+		shards:  make([]shard, p),
+		untimed: map[string]bool{},
 	}
-	for i := range t.busyPhase {
-		t.busyPhase[i] = map[string]float64{}
-	}
+	t.eventCap.Store(DefaultEventCap)
 	return t
 }
 
@@ -123,31 +178,30 @@ func (t *Timeline) Machine() Machine { return t.machine }
 
 // SetEventCap bounds event retention (0 retains nothing; aggregates and
 // clocks are unaffected). Call before the run starts.
-func (t *Timeline) SetEventCap(n int) {
-	t.mu.Lock()
-	t.eventCap = n
-	t.mu.Unlock()
-}
+func (t *Timeline) SetEventCap(n int) { t.eventCap.Store(int64(n)) }
 
 // ExcludeFromTiming marks phases whose traffic is metered for volume (and
 // still recorded as events) but advances no logical clocks. The runtime
 // excludes PhaseLayout and PhaseCollect by default, mirroring the volume
 // accounting's AlgorithmBytes exclusion: the paper assumes the input is
 // already distributed, so the housekeeping scatter/gather must not dominate
-// the simulated makespan either. Call before the run starts.
+// the simulated makespan either. Must be called before the run starts: the
+// set is read without synchronization on the delivery hot path.
 func (t *Timeline) ExcludeFromTiming(phases ...string) {
-	t.mu.Lock()
 	for _, ph := range phases {
 		t.untimed[ph] = true
 	}
-	t.mu.Unlock()
 }
 
-func (t *Timeline) appendEvent(e Event) {
-	if len(t.events) < t.eventCap {
-		t.events = append(t.events, e)
+// appendEvent retains e on shard s (which the caller holds locked) unless
+// the global cap is exhausted. Which events survive once the cap is reached
+// depends on arrival order across shards; runs that stay under the cap
+// retain everything, deterministically.
+func (t *Timeline) appendEvent(s *shard, e Event) {
+	if t.nEvents.Add(1) <= t.eventCap.Load() {
+		s.events = append(s.events, e)
 	} else {
-		t.dropped++
+		s.dropped++
 	}
 }
 
@@ -156,151 +210,193 @@ func (t *Timeline) cost(bytes int64) float64 {
 	return t.machine.Time(float64(bytes), 1)
 }
 
-// meterLocked is the one volume-aggregate update: every metering entry
-// point (two-sided and one-sided) must route through it so the attribution
-// rules cannot drift apart.
-func (t *Timeline) meterLocked(from, to int, bytes int64, phase string) {
-	t.sent[from] += bytes
-	t.recv[to] += bytes
-	t.msgs[from]++
-	t.byPhase[phase] += bytes
-	t.phaseMsgs[phase]++
-}
-
 // RecordSend meters bytes sent by rank from (received by rank to) under the
 // given phase label and advances the sender's clock by α + β·bytes. It
 // returns the sender's clock after injection — the send timestamp the
 // runtime carries on the message and hands back to RecordRecv on matching.
+// Only the two endpoint shards are touched: the sender's under its mutex,
+// the receiver's received-bytes counter lock-free.
 func (t *Timeline) RecordSend(from, to int, bytes int64, phase string) float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.meterLocked(from, to, bytes, phase)
-	if !t.untimed[phase] {
+	s := &t.shards[from]
+	s.mu.Lock()
+	s.sent.Add(bytes)
+	s.msgs.Add(1)
+	ps := s.phase(phase, t.untimed)
+	ps.bytes += bytes
+	ps.msgs++
+	if ps.timed {
 		d := t.cost(bytes)
-		t.clock[from] += d
-		t.busy[from] += d
-		t.busyPhase[from][phase] += d
-		t.timedMsgs[from]++
+		s.clock += d
+		s.busy += d
+		ps.busy += d
+		s.timedMsgs++
 	}
-	return t.clock[from]
+	st := s.clock
+	s.mu.Unlock()
+	t.shards[to].recv.Add(bytes)
+	return st
 }
 
 // RecordRecv completes a matched delivery on the receiving rank: the clock
 // jumps to max(local, sendTime) — the jump is wait time — then advances by
-// α + β·bytes of reception work. The completed Event is appended to the
-// timeline. phase is the event's (send-side) phase label.
+// α + β·bytes of reception work. The completed Event is retained on the
+// receiver's shard. phase is the event's (send-side) phase label.
 func (t *Timeline) RecordRecv(from, to int, bytes int64, phase string, sendTime float64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.untimed[phase] {
-		if sendTime > t.clock[to] {
-			t.wait[to] += sendTime - t.clock[to]
-			t.clock[to] = sendTime
+	s := &t.shards[to]
+	s.mu.Lock()
+	if ps := s.phase(phase, t.untimed); ps.timed {
+		if sendTime > s.clock {
+			s.wait += sendTime - s.clock
+			s.clock = sendTime
 		}
 		d := t.cost(bytes)
-		t.clock[to] += d
-		t.busy[to] += d
-		t.busyPhase[to][phase] += d
+		s.clock += d
+		s.busy += d
+		ps.busy += d
 	}
 	// Untimed deliveries leave the receiver's clock alone, which can sit
 	// behind the send stamp; clamp so the event interval is never negative.
-	rt := t.clock[to]
+	rt := s.clock
 	if rt < sendTime {
 		rt = sendTime
 	}
-	t.appendEvent(Event{From: from, To: to, Bytes: bytes, Phase: phase,
+	t.appendEvent(s, Event{From: from, To: to, Bytes: bytes, Phase: phase,
 		SendTime: sendTime, RecvTime: rt})
+	s.mu.Unlock()
 }
 
 // RecordOneSided meters an RMA transfer of bytes from → to whose time cost
 // is charged to the active rank only (the origin of a Put or Get; the
 // target is passive, per MPI one-sided semantics). Volume is attributed
-// from → to exactly like a send.
+// from → to exactly like a send; the event is retained on the active
+// rank's shard.
 func (t *Timeline) RecordOneSided(active, from, to int, bytes int64, phase string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.meterLocked(from, to, bytes, phase)
-	if !t.untimed[phase] {
+	t.shards[from].sent.Add(bytes)
+	t.shards[from].msgs.Add(1)
+	t.shards[to].recv.Add(bytes)
+	a := &t.shards[active]
+	a.mu.Lock()
+	ps := a.phase(phase, t.untimed)
+	ps.bytes += bytes
+	ps.msgs++
+	if ps.timed {
 		d := t.cost(bytes)
-		t.clock[active] += d
-		t.busy[active] += d
-		t.busyPhase[active][phase] += d
-		t.timedMsgs[active]++
+		a.clock += d
+		a.busy += d
+		ps.busy += d
+		a.timedMsgs++
 	}
-	t.appendEvent(Event{From: from, To: to, Bytes: bytes, Phase: phase,
-		SendTime: t.clock[active], RecvTime: t.clock[active]})
+	t.appendEvent(a, Event{From: from, To: to, Bytes: bytes, Phase: phase,
+		SendTime: a.clock, RecvTime: a.clock})
+	a.mu.Unlock()
 }
 
-// Events returns a copy of the retained (matched) events in completion
-// order. Retention is bounded by SetEventCap; EventsDropped reports the
-// overflow.
+// Events returns a copy of the retained (matched) events, merged
+// deterministically: grouped by the rank that completed them (the receiver
+// for two-sided deliveries, the origin for one-sided), ranks ascending,
+// each rank's events in its program order. Per-rank program order is fixed
+// by the schedule, so the merged sequence is identical across replays of a
+// deterministic run regardless of goroutine interleaving. Retention is
+// bounded by SetEventCap; EventsDropped reports the overflow.
 func (t *Timeline) Events() []Event {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Event(nil), t.events...)
+	// nEvents counts drops past the cap too; clamp the preallocation to
+	// what can actually have been retained (a paper-scale run records tens
+	// of millions of deliveries against a 2²⁰ cap).
+	n := t.nEvents.Load()
+	if c := t.eventCap.Load(); n > c {
+		n = c
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Event, 0, n)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // EventsDropped returns how many events exceeded the retention cap.
 func (t *Timeline) EventsDropped() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	var n int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.dropped
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Report derives the immutable volume report — including the simulated-time
-// sub-report — from the timeline. The volume fields are identical to what
-// the pre-timeline per-rank counters produced: they are maintained at the
-// same single metering point with the same attribution rules.
+// sub-report — by merging the per-rank shards in rank order. The volume
+// fields are identical to what the pre-shard global-mutex timeline (and the
+// per-rank counters before it) produced: per-rank values live on their own
+// shard, and the per-phase maps merge by integer addition, which no
+// interleaving can perturb.
 func (t *Timeline) Report() *Report {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	r := &Report{
 		P:         t.p,
-		Sent:      append([]int64(nil), t.sent...),
-		Recv:      append([]int64(nil), t.recv...),
-		Msgs:      append([]int64(nil), t.msgs...),
-		ByPhase:   make(map[string]int64, len(t.byPhase)),
-		PhaseMsgs: make(map[string]int64, len(t.phaseMsgs)),
+		Sent:      make([]int64, t.p),
+		Recv:      make([]int64, t.p),
+		Msgs:      make([]int64, t.p),
+		ByPhase:   map[string]int64{},
+		PhaseMsgs: map[string]int64{},
 	}
-	for k, v := range t.byPhase {
-		r.ByPhase[k] = v
-	}
-	for k, v := range t.phaseMsgs {
-		r.PhaseMsgs[k] = v
-	}
-	r.Time = t.timeReportLocked()
-	return r
-}
-
-func (t *Timeline) timeReportLocked() *TimeReport {
 	tr := &TimeReport{
-		Machine: t.machine,
-		Clock:   append([]float64(nil), t.clock...),
-		Busy:    append([]float64(nil), t.busy...),
-		Wait:    append([]float64(nil), t.wait...),
-		Msgs:    append([]int64(nil), t.timedMsgs...),
+		Machine:      t.machine,
+		Clock:        make([]float64, t.p),
+		Busy:         make([]float64, t.p),
+		Wait:         make([]float64, t.p),
+		Msgs:         make([]int64, t.p),
+		CritPhases:   map[string]float64{},
+		PhaseBusyMax: map[string]float64{},
 	}
-	for r, c := range t.clock {
-		if c > tr.Makespan {
-			tr.Makespan = c
-			tr.CritRank = r
-		}
-	}
-	tr.CritPhases = map[string]float64{}
-	if t.p > 0 {
-		for ph, d := range t.busyPhase[tr.CritRank] {
-			tr.CritPhases[ph] = d
-		}
-	}
-	tr.PhaseBusyMax = map[string]float64{}
-	for _, perPhase := range t.busyPhase {
-		for ph, d := range perPhase {
-			if d > tr.PhaseBusyMax[ph] {
-				tr.PhaseBusyMax[ph] = d
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		r.Sent[i] = s.sent.Load()
+		r.Recv[i] = s.recv.Load()
+		r.Msgs[i] = s.msgs.Load()
+		for _, ps := range s.phases {
+			// Volume attribution: only stats with originated traffic add
+			// keys (a receiver-side stat for a foreign phase carries 0 of
+			// both and must not invent a phase the senders never metered).
+			if ps.bytes != 0 || ps.msgs != 0 {
+				r.ByPhase[ps.name] += ps.bytes
+				r.PhaseMsgs[ps.name] += ps.msgs
 			}
 		}
+		tr.Clock[i] = s.clock
+		tr.Busy[i] = s.busy
+		tr.Wait[i] = s.wait
+		tr.Msgs[i] = s.timedMsgs
+		if s.clock > tr.Makespan {
+			tr.Makespan = s.clock
+			tr.CritRank = i
+		}
+		for _, ps := range s.phases {
+			if ps.timed && ps.busy > tr.PhaseBusyMax[ps.name] {
+				tr.PhaseBusyMax[ps.name] = ps.busy
+			}
+		}
+		s.mu.Unlock()
 	}
-	return tr
+	if t.p > 0 {
+		cs := &t.shards[tr.CritRank]
+		cs.mu.Lock()
+		for _, ps := range cs.phases {
+			if ps.timed {
+				tr.CritPhases[ps.name] = ps.busy
+			}
+		}
+		cs.mu.Unlock()
+	}
+	r.Time = tr
+	return r
 }
 
 // TimeReport is the simulated-time view of one run under the α-β model:
