@@ -69,9 +69,17 @@ bench-smoke:
 #    committed copy is the paper-scale record; this target overwrites it
 #    with a small-scale run, so expect a dirty tree locally and re-commit
 #    only when refreshing the record (`-scale paper`).
+#  - BENCH_sched.json: the executor sweep (goroutines vs the discrete-
+#    event loop on the same COnfLUX replay, DESIGN.md §11), compared
+#    against the committed paper-scale record BENCH_events.json — the
+#    presets nest, so the small-scale rows overlap the record's.
+#    Regenerate the record itself with
+#    `confluxbench -exp sched -scale paper -json BENCH_events.json`.
 bench-json:
 	$(GO) run ./cmd/confluxbench -exp smoke -json BENCH_smoke.json
 	$(GO) run ./cmd/confluxbench -exp perf -scale small -json BENCH_scale.json
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_scale.json
+	$(GO) run ./cmd/confluxbench -exp sched -scale small -json BENCH_sched.json
+	$(GO) run ./cmd/benchdiff BENCH_events.json BENCH_sched.json
 
 ci: fmt-check apicheck build test

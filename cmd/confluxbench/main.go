@@ -18,6 +18,8 @@
 //	confluxbench -exp all -scale small
 //	confluxbench -exp table2 -alpha 5e-6 -beta 2e-10
 //	confluxbench -exp smoke -json BENCH_smoke.json
+//	confluxbench -exp sched -scale paper -json BENCH_events.json
+//	confluxbench -exp table2 -executor events
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/costmodel"
+	"repro/internal/smpi"
 )
 
 type scale struct {
@@ -89,21 +92,27 @@ func main() {
 }
 
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | perf | all")
+	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | perf | sched | all")
 	sc := flag.String("scale", "small", "scale preset: small | medium | paper")
 	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
 	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	alpha := flag.Float64("alpha", bench.Machine.Alpha, "α: per-message latency of the simulated machine (seconds)")
 	beta := flag.Float64("beta", bench.Machine.Beta, "β: per-byte transfer cost of the simulated machine (seconds/byte)")
-	jsonOut := flag.String("json", "", "with -exp smoke|perf: write the machine-readable record to this path")
+	jsonOut := flag.String("json", "", "with -exp smoke|perf|sched: write the machine-readable record to this path")
 	solveNRHS := flag.Int("nrhs", 0, "with -exp solve: override the scale preset's right-hand-side count")
+	executor := flag.String("executor", "auto", "smpi executor for replayed worlds: auto | goroutines | events")
 	workers := flag.Int("parallel", 0, "independent simulated worlds to run concurrently (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this path")
 	flag.Parse()
 	bench.Machine = costmodel.Machine{Alpha: *alpha, Beta: *beta}
 	bench.Workers = *workers
+	bench.Executor = smpi.Executor(*executor)
+	if !bench.Executor.Valid() {
+		fmt.Fprintf(os.Stderr, "unknown executor %q (want auto, goroutines, or events)\n", *executor)
+		return 2
+	}
 	if *cpuprofile != "" {
 		fh, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -257,6 +266,24 @@ func realMain() (code int) {
 	})
 	run("perf", func(s scale) error {
 		rep, err := bench.RunPerf(ctx, *sc, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if *jsonOut != "" {
+			fh, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			if err := rep.WriteJSON(fh); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	run("sched", func(s scale) error {
+		rep, err := bench.RunSched(ctx, *sc, os.Stdout)
 		if err != nil {
 			return err
 		}

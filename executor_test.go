@@ -1,0 +1,104 @@
+package conflux
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestWithExecutorUnknownName: a bad executor name fails New with the typed
+// sentinel, before any simulation runs.
+func TestWithExecutorUnknownName(t *testing.T) {
+	_, err := New(WithExecutor("fibers"))
+	if !errors.Is(err, ErrUnknownExecutor) {
+		t.Fatalf("got %v, want ErrUnknownExecutor", err)
+	}
+	for _, name := range []string{"auto", "goroutines", "events"} {
+		if _, err := New(WithExecutor(name)); err != nil {
+			t.Fatalf("WithExecutor(%q): %v", name, err)
+		}
+	}
+}
+
+// TestWithExecutorParityAndReporting pins the public executor contract:
+// explicit "events" and "goroutines" sessions produce identical factors,
+// volume, and simulated time, and every surface that reports the resolved
+// executor — Session.Stats, Result, VolumeReport — is stamped with what
+// actually ran.
+func TestWithExecutorParityAndReporting(t *testing.T) {
+	n, p := 96, 6
+	a := mat.RandomDiagDominant(n, 7)
+	type outcome struct {
+		res *Result
+		vol *VolumeReport
+	}
+	runs := map[string]outcome{}
+	for _, name := range []string{"goroutines", "events"} {
+		s, err := New(WithRanks(p), WithExecutor(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Factorize(t.Context(), a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Executor != name || res.Volume.Executor != name {
+			t.Fatalf("%s: result stamped %q / report %q", name, res.Executor, res.Volume.Executor)
+		}
+		if got := s.Stats().Executor; got != name {
+			t.Fatalf("%s: Stats().Executor = %q", name, got)
+		}
+		vol, err := s.CommVolume(t.Context(), n)
+		if err != nil {
+			t.Fatalf("%s volume: %v", name, err)
+		}
+		runs[name] = outcome{res: res, vol: vol}
+	}
+	g, e := runs["goroutines"], runs["events"]
+	if d := mat.MaxAbsDiff(g.res.LU, e.res.LU); d != 0 {
+		t.Fatalf("factors differ between executors: max abs diff %v", d)
+	}
+	for i := range g.res.Perm {
+		if g.res.Perm[i] != e.res.Perm[i] {
+			t.Fatalf("pivot permutations differ at %d", i)
+		}
+	}
+	if g.res.Volume.TotalBytes() != e.res.Volume.TotalBytes() || g.res.Time != e.res.Time {
+		t.Fatalf("factorization diverged: %d/%v vs %d/%v",
+			g.res.Volume.TotalBytes(), g.res.Time, e.res.Volume.TotalBytes(), e.res.Time)
+	}
+	if g.vol.TotalBytes() != e.vol.TotalBytes() || g.vol.Time.Makespan != e.vol.Time.Makespan {
+		t.Fatalf("volume replay diverged: %d/%v vs %d/%v",
+			g.vol.TotalBytes(), g.vol.Time.Makespan, e.vol.TotalBytes(), e.vol.Time.Makespan)
+	}
+}
+
+// TestAutoExecutorResolution pins the default policy: volume replays run on
+// the event loop, numeric factorizations on goroutines.
+func TestAutoExecutorResolution(t *testing.T) {
+	s, err := New(WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := s.CommVolume(t.Context(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.Executor != "events" {
+		t.Fatalf("volume replay ran on %q, want events", vol.Executor)
+	}
+	if got := s.Stats().Executor; got != "events" {
+		t.Fatalf("Stats().Executor = %q after volume replay", got)
+	}
+	res, err := s.Factorize(t.Context(), mat.RandomDiagDominant(48, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executor != "goroutines" {
+		t.Fatalf("numeric factorization ran on %q, want goroutines", res.Executor)
+	}
+	if got := s.Stats().Executor; got != "goroutines" {
+		t.Fatalf("Stats().Executor = %q after numeric run", got)
+	}
+}

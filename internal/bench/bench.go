@@ -70,6 +70,13 @@ var Timeout = 30 * time.Minute
 // (cmd/confluxbench overrides it from -alpha/-beta).
 var Machine = costmodel.DefaultMachine()
 
+// Executor selects how replayed worlds schedule their ranks (goroutines,
+// events, or the empty string for auto — events for these volume-mode
+// replays). cmd/confluxbench wires -executor here; the sched experiment
+// sweeps it. Results are executor-independent — this switches only the
+// host-side wall-clock/allocation profile.
+var Executor smpi.Executor
+
 // LibSciNB is the "user-specified" ScaLAPACK block size used throughout the
 // harness (Table 2 lists LibSci's block size as a user parameter). It
 // aliases the engine's own default so harness measurements and public-API
@@ -82,7 +89,12 @@ const LibSciNB = lu2d.DefaultLibSciNB
 func runVolume(ctx context.Context, p int, fn smpi.RankFunc) (*trace.Report, error) {
 	ctx, cancel := context.WithTimeout(ctx, Timeout)
 	defer cancel()
-	return smpi.RunContextMachine(ctx, p, false, Machine, fn)
+	return smpi.Exec(ctx, smpi.Config{
+		P:          p,
+		Machine:    Machine,
+		MachineSet: true,
+		Executor:   Executor,
+	}, fn)
 }
 
 // Measure runs one algorithm at (n, p) with per-rank memory m (elements) in

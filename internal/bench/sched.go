@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/smpi"
+)
+
+// sched.go is the executor-comparison sweep behind `confluxbench -exp
+// sched`: the same COnfLUX volume replay, wall-clocked under the goroutine
+// executor and the discrete-event executor. The replay's outputs (bytes,
+// simulated time) are executor-independent — the parity tests pin that —
+// so the sweep measures exactly the host-side cost of the scheduling
+// strategy: P live goroutine stacks and condvar handoffs versus one
+// clock-ordered event loop. Its JSON record (BENCH_events.json, recorded
+// at -scale paper) is compared by cmd/benchdiff in `make bench-json`; the
+// paper preset includes the beyond-goroutines P=4096 point, which only the
+// event executor replays without thrashing.
+
+// schedCase wall-clocks one COnfLUX volume replay under a pinned executor.
+func schedCase(ex smpi.Executor, n, p, iters int) PerfCase {
+	return PerfCase{
+		Name:  fmt.Sprintf("sched/%s/N=%d,P=%d", ex, n, p),
+		Iters: iters,
+		Run: func(ctx context.Context) error {
+			saved := Executor
+			Executor = ex
+			defer func() { Executor = saved }()
+			_, err := Measure(ctx, costmodel.COnfLUX, n, p, costmodel.MaxMemoryParams(n, p).M)
+			return err
+		},
+	}
+}
+
+// SchedCases returns the executor sweep for a scale preset. Presets nest
+// (as in PerfCases), so records at different scales share comparable rows;
+// "paper" adds the headline N=16,384 points: P=1,024 under both executors
+// and the beyond-paper P=4,096 replay under the event executor only — the
+// goroutine executor is omitted there by design (4,096 live stacks thrash
+// the host scheduler; making that point tractable is the event loop's
+// reason to exist).
+func SchedCases(scale string) ([]PerfCase, error) {
+	both := func(n, p, iters int) []PerfCase {
+		return []PerfCase{
+			schedCase(smpi.ExecGoroutines, n, p, iters),
+			schedCase(smpi.ExecEvents, n, p, iters),
+		}
+	}
+	small := both(1024, 64, 3)
+	medium := append(small[:len(small):len(small)], both(4096, 256, 1)...)
+	paper := append(medium[:len(medium):len(medium)],
+		append(both(16384, 1024, 1), schedCase(smpi.ExecEvents, 16384, 4096, 1))...)
+	switch scale {
+	case "small":
+		return small, nil
+	case "medium":
+		return medium, nil
+	case "paper":
+		return paper, nil
+	}
+	return nil, fmt.Errorf("bench: unknown sched scale %q", scale)
+}
+
+// RunSched runs the executor sweep for the given scale, streaming progress
+// lines to progress (pass io.Discard to silence). The record's Scale is
+// prefixed "sched-" so it cannot be confused with the perf suite's records.
+func RunSched(ctx context.Context, scale string, progress io.Writer) (*PerfReport, error) {
+	cases, err := SchedCases(scale)
+	if err != nil {
+		return nil, err
+	}
+	// Like RunPerf: a slow host must produce slow numbers, not canceled runs.
+	saved := Timeout
+	if Timeout < 2*time.Hour {
+		Timeout = 2 * time.Hour
+	}
+	defer func() { Timeout = saved }()
+	rep := &PerfReport{Scale: "sched-" + scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, pc := range cases {
+		m, err := RunPerfCase(ctx, pc)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(progress, "  %-44s %14s/op %12d allocs/op %14s/op\n",
+			m.Name, time.Duration(m.NsPerOp), m.AllocsPerOp, byteCount(m.BytesPerOp))
+		rep.Results = append(rep.Results, m)
+	}
+	return rep, nil
+}

@@ -109,7 +109,9 @@ func (c *Comm) AllreduceMaxLoc(in MaxLoc) MaxLoc {
 	enc := func(m MaxLoc) Msg {
 		f := getFloats(1)
 		f[0] = m.Val
-		return Msg{F: f, I: getInts1(m.Loc), N: 2}
+		// pooled: both slices are pool leases; an aborted run's sweep may
+		// return stranded in-flight pairs (see World.reclaim).
+		return Msg{F: f, I: getInts1(m.Loc), N: 2, pooled: true}
 	}
 	dec := func(msg Msg) MaxLoc {
 		out := MaxLoc{Loc: msg.I[0]}

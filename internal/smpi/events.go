@@ -1,0 +1,252 @@
+// The discrete-event executor: one runnable rank at a time, scheduled by
+// logical clock (see DESIGN.md §11).
+//
+// The goroutine executor gives every rank a live goroutine parked on a
+// mailbox condvar; at P = 1024 that is a thousand stacks and a kernel-level
+// scheduler handoff per matched receive, and beyond-paper scales
+// (P ≥ 4096) thrash. The event executor keeps the rank bodies exactly as
+// written — ordinary imperative RankFuncs — but turns the goroutines into
+// coroutines: a baton-passing discipline guarantees at most one rank
+// executes at any instant, and control moves by explicit yields.
+//
+//   - A rank runs until its Recv blocks on an empty queue. It then yields:
+//     it registers the key it awaits on its mailbox, sends evBlocked to the
+//     scheduler, and parks on its private resume channel.
+//   - The scheduler pops the ready rank with the smallest (logical clock,
+//     rank) pair from a binary min-heap — conservative discrete-event
+//     scheduling: always advance the rank whose simulated present is
+//     earliest — hands it the baton, and parks on the shared event channel
+//     until the rank yields again or finishes (evDone).
+//   - A send into a mailbox whose owner is parked awaiting that exact key
+//     pushes the owner back onto the ready heap. Sends never block, so the
+//     sender keeps the baton.
+//
+// Because only the baton holder touches world state, mailbox queue access
+// needs no mutex in event mode, and every handoff crosses a channel — the
+// channel's happens-before edge is what makes the lock-free access sound
+// (and race-detector clean). Determinism needs no scheduling argument at
+// all: per-rank clocks and volume are pure functions of each rank's program
+// order plus FIFO per-(src, comm, tag) matching, identical under any
+// executor — the clock-ordered heap is a performance policy (it bounds
+// mailbox occupancy by draining the causally-earliest rank first), not a
+// correctness requirement.
+//
+// An empty ready heap with live ranks is a schedule deadlock. The scheduler
+// does not fail fast: it parks on abortCh until World.Abort fires (from a
+// run timeout, a context cancellation, or a failing rank), matching the
+// goroutine executor's semantics, where deadlock is detected by deadline.
+// The abort unwind then resumes every parked rank with a false baton, which
+// the blocked take turns into an ErrAborted panic.
+package smpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+type eventScheduler struct {
+	w      *World
+	states []rankState
+
+	// events carries yields from the running rank to the scheduler;
+	// unbuffered, so a yield is also the baton handoff.
+	events chan schedEvent
+
+	// ready is a hand-rolled binary min-heap of (clock, rank) pairs —
+	// container/heap would box every push through an interface, and the
+	// heap churns once per blocked receive. Only the baton holder (or the
+	// scheduler while no rank runs) touches it, so it is unlocked.
+	ready []readyItem
+
+	abortCh   chan struct{}
+	abortOnce sync.Once
+}
+
+type rankState struct {
+	// resume is the rank's private baton: true = run, false = the world
+	// aborted while you were parked, unwind now.
+	resume chan bool
+	done   bool
+}
+
+type schedEvent struct {
+	rank int
+	kind eventKind
+	err  error // evDone only
+}
+
+type eventKind uint8
+
+const (
+	evBlocked eventKind = iota // rank parked awaiting a mailbox key
+	evDone                     // rank returned (err) or unwound (ErrAborted)
+)
+
+type readyItem struct {
+	clock float64
+	rank  int
+}
+
+func newEventScheduler(w *World) *eventScheduler {
+	s := &eventScheduler{
+		w:       w,
+		states:  make([]rankState, w.P),
+		events:  make(chan schedEvent),
+		ready:   make([]readyItem, 0, w.P),
+		abortCh: make(chan struct{}),
+	}
+	for r := range s.states {
+		s.states[r].resume = make(chan bool)
+	}
+	return s
+}
+
+// signalAbort wakes a scheduler parked on an all-ranks-blocked deadlock.
+// Safe to call from any goroutine, any number of times.
+func (s *eventScheduler) signalAbort() {
+	s.abortOnce.Do(func() { close(s.abortCh) })
+}
+
+// run executes fn on every rank under the baton discipline and returns the
+// per-rank errors (ErrAborted for ranks unwound by an abort). It returns
+// only after every rank goroutine has finished.
+func (s *eventScheduler) run(fn RankFunc) []error {
+	errs := make([]error, s.w.P)
+	for r := 0; r < s.w.P; r++ {
+		go s.rankMain(r, fn)
+	}
+	// All clocks start at zero, so the initial heap order is rank order.
+	for r := 0; r < s.w.P; r++ {
+		s.push(readyItem{clock: 0, rank: r})
+	}
+	live := s.w.P
+	for live > 0 {
+		if s.w.aborted.Load() {
+			// Unwind: hand every parked rank a false baton, sequentially.
+			// Blocked takes panic ErrAborted without yielding again (take
+			// rechecks the abort flag before every yield), so each resume
+			// is answered by that rank's evDone.
+			for r := range s.states {
+				if s.states[r].done {
+					continue
+				}
+				s.states[r].resume <- false
+				ev := <-s.events
+				s.states[ev.rank].done = true
+				errs[ev.rank] = ev.err
+				live--
+			}
+			continue // live is now 0
+		}
+		if len(s.ready) == 0 {
+			// Schedule deadlock: every live rank awaits a message nobody
+			// can send. Park until an abort (run timeout, context
+			// cancellation) resolves it — deadline detection is the
+			// caller's policy, exactly as under the goroutine executor.
+			<-s.abortCh
+			continue
+		}
+		next := s.pop()
+		if s.states[next.rank].done {
+			continue
+		}
+		s.states[next.rank].resume <- true
+		ev := <-s.events
+		if ev.kind == evDone {
+			s.states[ev.rank].done = true
+			errs[ev.rank] = ev.err
+			live--
+			if ev.err != nil && !errors.Is(ev.err, ErrAborted) {
+				s.w.Abort()
+			}
+		}
+		// evBlocked: the rank registered its awaited key on its mailbox
+		// before yielding; a matching put will push it back onto the heap.
+	}
+	return errs
+}
+
+// rankMain is the body of one rank coroutine: park for the first baton,
+// run fn with the same panic conversion as the goroutine executor, report
+// evDone. A false first baton means the world aborted before this rank
+// ever ran.
+func (s *eventScheduler) rankMain(rank int, fn RankFunc) {
+	if !<-s.states[rank].resume {
+		s.events <- schedEvent{rank: rank, kind: evDone, err: ErrAborted}
+		return
+	}
+	var err error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if e, ok := rec.(error); ok && errors.Is(e, ErrAborted) {
+					err = ErrAborted
+				} else {
+					err = fmt.Errorf("smpi: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+				}
+			}
+		}()
+		err = fn(WorldComm(s.w, rank))
+	}()
+	s.events <- schedEvent{rank: rank, kind: evDone, err: err}
+}
+
+// yieldBlocked hands the baton back to the scheduler and parks until the
+// rank is resumed. Returns the baton value: false means the world aborted
+// while parked and the caller must unwind.
+func (s *eventScheduler) yieldBlocked(rank int) bool {
+	s.events <- schedEvent{rank: rank, kind: evBlocked}
+	return <-s.states[rank].resume
+}
+
+// makeReady pushes a parked rank onto the ready heap at its current logical
+// clock. Called by the sender (the baton holder) when its put matches the
+// key the mailbox owner is awaiting, so access is serialized.
+func (s *eventScheduler) makeReady(rank int) {
+	s.push(readyItem{clock: s.w.Trace.Clock(rank), rank: rank})
+}
+
+func readyLess(a, b readyItem) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.rank < b.rank
+}
+
+func (s *eventScheduler) push(it readyItem) {
+	s.ready = append(s.ready, it)
+	i := len(s.ready) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !readyLess(s.ready[i], s.ready[parent]) {
+			break
+		}
+		s.ready[i], s.ready[parent] = s.ready[parent], s.ready[i]
+		i = parent
+	}
+}
+
+func (s *eventScheduler) pop() readyItem {
+	top := s.ready[0]
+	last := len(s.ready) - 1
+	s.ready[0] = s.ready[last]
+	s.ready = s.ready[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(s.ready) && readyLess(s.ready[l], s.ready[least]) {
+			least = l
+		}
+		if r < len(s.ready) && readyLess(s.ready[r], s.ready[least]) {
+			least = r
+		}
+		if least == i {
+			return top
+		}
+		s.ready[i], s.ready[least] = s.ready[least], s.ready[i]
+		i = least
+	}
+}

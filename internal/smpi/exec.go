@@ -1,0 +1,257 @@
+package smpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Executor selects how a run schedules its ranks. Both executors produce
+// byte-identical volume reports and bit-identical simulated clocks — the
+// results are pure functions of per-rank program order plus FIFO message
+// matching, independent of scheduling — so the choice is purely a
+// performance/scale tradeoff.
+type Executor string
+
+const (
+	// ExecAuto picks per run: events for volume-mode (phantom) worlds,
+	// goroutines for numeric ones. Volume replays are pure metering
+	// bookkeeping, so the single-threaded event loop wins by eliminating
+	// P stacks and a condvar handoff per matched receive; numeric runs do
+	// real arithmetic per rank, which the goroutine executor spreads
+	// across cores.
+	ExecAuto Executor = "auto"
+	// ExecGoroutines runs one live goroutine per rank, parked on mailbox
+	// condvars when blocked — the classic CSP execution.
+	ExecGoroutines Executor = "goroutines"
+	// ExecEvents runs the discrete-event scheduler (see events.go): ranks
+	// are coroutines yielding to a clock-ordered event loop, at most one
+	// executing at a time.
+	ExecEvents Executor = "events"
+)
+
+// ErrUnknownExecutor is wrapped by Exec (and ResolveExecutor) when the
+// configured executor names neither a concrete executor nor auto.
+var ErrUnknownExecutor = errors.New("smpi: unknown executor")
+
+// Valid reports whether e names a concrete executor or auto (the empty
+// string counts as auto).
+func (e Executor) Valid() bool {
+	switch e {
+	case "", ExecAuto, ExecGoroutines, ExecEvents:
+		return true
+	}
+	return false
+}
+
+// ResolveExecutor maps an executor choice to a concrete executor for a run
+// with the given payload mode. The empty string means auto.
+func ResolveExecutor(e Executor, payload bool) (Executor, error) {
+	switch e {
+	case "", ExecAuto:
+		if payload {
+			return ExecGoroutines, nil
+		}
+		return ExecEvents, nil
+	case ExecGoroutines, ExecEvents:
+		return e, nil
+	}
+	return "", fmt.Errorf("%w: %q (want %q, %q, or %q)",
+		ErrUnknownExecutor, string(e), ExecAuto, ExecGoroutines, ExecEvents)
+}
+
+// Config describes one simulated run for Exec. The zero value is not
+// runnable (P must be positive unless World is set); every other field has
+// a useful zero: volume mode, default α-β machine, auto executor, no
+// deadline.
+type Config struct {
+	// P is the world size. Ignored when World is set.
+	P int
+	// Payload selects numeric mode (true) or volume mode (false, the
+	// default). Ignored when World is set.
+	Payload bool
+	// Machine sets the α-β machine parameters for the timeline. The zero
+	// Machine means "use trace.DefaultMachine()" unless MachineSet is
+	// true, because the all-free machine (α = β = 0) is a meaningful
+	// configuration, not merely unset. Ignored when World is set.
+	Machine trace.Machine
+	// MachineSet marks Machine as authoritative even when zero.
+	MachineSet bool
+	// Executor picks the scheduling strategy; zero/auto resolves by
+	// payload mode (see ExecAuto).
+	Executor Executor
+	// Timeout, when positive, bounds the run's wall-clock time: the
+	// deadline aborts the world (schedule deadlocks fail instead of
+	// hanging) and surfaces as ErrCanceled wrapping
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// World, when non-nil, is the caller-configured world to run on
+	// (fault injection, post-run mailbox inspection); it overrides P,
+	// Payload, Machine, and MachineSet.
+	World *World
+}
+
+// Exec is the single entrypoint of the runtime: it executes fn on every
+// rank of the configured world and returns the run's trace report (volume +
+// simulated time, stamped with the resolved executor). The eight historical
+// Run* variants are thin wrappers over it.
+//
+// Error contract: the first rank error — or panic, converted — wins, with
+// secondary ErrAborted unwinds filtered out. When ctx is canceled (or the
+// Timeout fires) the world is aborted, blocked ranks unwind promptly, and
+// the returned error wraps ErrCanceled plus the context's cause; a run that
+// completes before cancellation lands is returned as a success. A partial
+// report is returned alongside every error. After the ranks unwind —
+// normally or not — undelivered pooled wire buffers and emptied queue
+// carcasses are returned to their pools, so aborted runs leak nothing.
+func Exec(ctx context.Context, cfg Config, fn RankFunc) (*trace.Report, error) {
+	w := cfg.World
+	if w == nil {
+		m := cfg.Machine
+		if m.IsZero() && !cfg.MachineSet {
+			m = trace.DefaultMachine()
+		}
+		w = NewWorldMachine(cfg.P, cfg.Payload, m)
+	}
+	ex, err := ResolveExecutor(cfg.Executor, w.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, cfg.Timeout,
+			fmt.Errorf("smpi: run did not complete within %v (likely schedule deadlock)", cfg.Timeout))
+		defer cancel()
+	}
+	if ctx.Err() != nil {
+		return nil, canceledErr(ctx)
+	}
+	w.executor = ex
+	if ex == ExecEvents {
+		w.sched = newEventScheduler(w)
+	}
+	if cancelCh := ctx.Done(); cancelCh != nil {
+		// The watcher holds the world open until the run returns, so a
+		// cancellation arriving at any point wakes the blocked ranks
+		// exactly once and the goroutine never leaks. Runs on a
+		// non-cancelable context skip it, keeping the Go runtime's
+		// all-goroutines-asleep deadlock detector meaningful for them.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cancelCh:
+				w.Abort()
+			case <-done:
+			}
+		}()
+	}
+	var errs []error
+	if ex == ExecEvents {
+		errs = w.sched.run(fn)
+	} else {
+		errs = runGoroutines(w, fn)
+	}
+	w.reclaim()
+	rep := w.Trace.Report()
+	rep.Executor = string(ex)
+	runErr := firstRunError(errs)
+	if runErr != nil && ctx.Err() != nil {
+		// The abort unwound the ranks (surfacing as ErrAborted or as
+		// engine errors on half-delivered schedules); the context is the
+		// root cause, so it wins.
+		return rep, canceledErr(ctx)
+	}
+	return rep, runErr
+}
+
+// runGoroutines is the classic executor: one goroutine per rank, with rank
+// panics converted to errors and the first failure aborting the world so
+// blocked ranks unwind instead of deadlocking.
+func runGoroutines(w *World, fn RankFunc) []error {
+	errs := make([]error, w.P)
+	var wg sync.WaitGroup
+	for r := 0; r < w.P; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
+						errs[rank] = ErrAborted
+					} else {
+						errs[rank] = fmt.Errorf("smpi: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
+					}
+					w.Abort()
+					return
+				}
+				if errs[rank] != nil {
+					w.Abort()
+				}
+			}()
+			errs[rank] = fn(WorldComm(w, rank))
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+// firstRunError picks the run's error: the first non-ErrAborted rank error
+// (the originating failure) wins; a run where every failure is a secondary
+// ErrAborted unwind reports that.
+func firstRunError(errs []error) error {
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reclaim sweeps the world after every rank has unwound: undelivered pooled
+// payloads (SendMat wire buffers, MaxLoc reduction pairs stranded by an
+// abort) go back to their pools, drained queue carcasses and the mailbox
+// free-slot caches are recycled, and the world's RMA window registry entry
+// is dropped so the world itself is collectable. Counts land in
+// w.reclaimed for the regression tests. The mailbox locks are held against
+// a late watcher Abort broadcast.
+func (w *World) reclaim() {
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		for k, q := range mb.q {
+			for i := q.head; i < len(q.buf); i++ {
+				m := &q.buf[i]
+				if m.pooled {
+					putFloats(m.F)
+					putInts1(m.I)
+					w.reclaimed.bufs++
+				}
+				*m = Msg{}
+			}
+			delete(mb.q, k)
+			q.buf = q.buf[:0]
+			q.head = 0
+			queuePool.Put(q)
+			w.reclaimed.queues++
+		}
+		if mb.free != nil {
+			queuePool.Put(mb.free)
+			mb.free = nil
+		}
+		mb.mu.Unlock()
+	}
+	dropWindowRegistry(w)
+}

@@ -1,0 +1,287 @@
+package smpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/trace"
+)
+
+func TestResolveExecutor(t *testing.T) {
+	cases := []struct {
+		in      Executor
+		payload bool
+		want    Executor
+	}{
+		{"", false, ExecEvents},
+		{"", true, ExecGoroutines},
+		{ExecAuto, false, ExecEvents},
+		{ExecAuto, true, ExecGoroutines},
+		{ExecEvents, true, ExecEvents},
+		{ExecGoroutines, false, ExecGoroutines},
+	}
+	for _, c := range cases {
+		got, err := ResolveExecutor(c.in, c.payload)
+		if err != nil || got != c.want {
+			t.Fatalf("ResolveExecutor(%q, %v) = %q, %v; want %q", c.in, c.payload, got, err, c.want)
+		}
+	}
+	if _, err := ResolveExecutor("fibers", false); !errors.Is(err, ErrUnknownExecutor) {
+		t.Fatalf("bad name: got %v, want ErrUnknownExecutor", err)
+	}
+}
+
+func TestExecUnknownExecutor(t *testing.T) {
+	_, err := Exec(context.Background(), Config{P: 2, Executor: "bogus"}, func(c *Comm) error { return nil })
+	if !errors.Is(err, ErrUnknownExecutor) {
+		t.Fatalf("got %v, want ErrUnknownExecutor", err)
+	}
+}
+
+// parityWorkload is a communication-dense rank body exercising point-to-
+// point, butterfly collectives, barriers, and a MaxLoc reduction — the
+// full matching surface both executors must agree on.
+func parityWorkload(c *Comm) error {
+	p, me := c.Size(), c.Rank()
+	c.SetPhase("ring")
+	for round := 0; round < 5; round++ {
+		c.Send((me+1)%p, round, Msg{N: 64 * (me + round + 1)})
+		c.Recv((me-1+p)%p, round)
+	}
+	c.SetPhase("reduce")
+	got := c.AllreduceMaxLoc(MaxLoc{Val: float64((me * 7) % p), Loc: me})
+	if got.Loc < 0 || got.Loc >= p {
+		return fmt.Errorf("bad maxloc %v", got)
+	}
+	c.Barrier()
+	c.SetPhase("shift")
+	// Pairwise exchange under the reversal pairing (an involution for every
+	// p; the middle rank of an odd world sits out), with receive-before-
+	// send ordering on half the ranks so the executor has to park and
+	// re-arm waits.
+	peer := p - 1 - me
+	if peer != me {
+		if me < peer {
+			c.Send(peer, 100, Msg{N: 256})
+			c.Recv(peer, 101)
+		} else {
+			c.Recv(peer, 100)
+			c.Send(peer, 101, Msg{N: 256})
+		}
+	}
+	c.Barrier()
+	return nil
+}
+
+// reportsEqual compares everything except the provenance stamp.
+func reportsEqual(a, b *trace.Report) error {
+	if !reflect.DeepEqual(a.Sent, b.Sent) || !reflect.DeepEqual(a.Recv, b.Recv) || !reflect.DeepEqual(a.Msgs, b.Msgs) {
+		return fmt.Errorf("per-rank volume differs:\n%v %v %v\n%v %v %v", a.Sent, a.Recv, a.Msgs, b.Sent, b.Recv, b.Msgs)
+	}
+	if !reflect.DeepEqual(a.ByPhase, b.ByPhase) || !reflect.DeepEqual(a.PhaseMsgs, b.PhaseMsgs) {
+		return fmt.Errorf("phase attribution differs: %v vs %v", a.ByPhase, b.ByPhase)
+	}
+	if !reflect.DeepEqual(a.Time, b.Time) {
+		return fmt.Errorf("simulated time differs: makespan %v vs %v (clocks %v vs %v)",
+			a.Time.Makespan, b.Time.Makespan, a.Time.Clock, b.Time.Clock)
+	}
+	return nil
+}
+
+// TestExecutorParityWorkload pins the core executor-equivalence claim at the
+// runtime level: byte-identical volume and bit-identical clocks between the
+// goroutine and event executors, in both payload modes, across odd and
+// power-of-two world sizes.
+func TestExecutorParityWorkload(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 8} {
+		for _, payload := range []bool{false, true} {
+			var reps [2]*trace.Report
+			for i, ex := range []Executor{ExecGoroutines, ExecEvents} {
+				rep, err := Exec(context.Background(), Config{P: p, Payload: payload, Executor: ex}, parityWorkload)
+				if err != nil {
+					t.Fatalf("p=%d payload=%v %s: %v", p, payload, ex, err)
+				}
+				if rep.Executor != string(ex) {
+					t.Fatalf("report stamped %q, want %q", rep.Executor, ex)
+				}
+				reps[i] = rep
+			}
+			if err := reportsEqual(reps[0], reps[1]); err != nil {
+				t.Fatalf("p=%d payload=%v: %v", p, payload, err)
+			}
+		}
+	}
+}
+
+// TestEventExecutorNumericCorrect: the event executor must move real
+// payloads correctly, not just meter them — a numeric SendMat/RecvMat chain
+// through several ranks preserves values.
+func TestEventExecutorNumericCorrect(t *testing.T) {
+	const p = 4
+	_, err := Exec(context.Background(), Config{P: p, Payload: true, Executor: ExecEvents}, func(c *Comm) error {
+		m := mat.New(2, 2)
+		if c.Rank() == 0 {
+			m.Set(0, 0, 42)
+			m.Set(1, 1, 7)
+			c.SendMat(1, 0, m)
+			return nil
+		}
+		c.RecvMat(c.Rank()-1, 0, m)
+		if m.At(0, 0) != 42 || m.At(1, 1) != 7 {
+			return fmt.Errorf("rank %d: payload corrupted: %v %v", c.Rank(), m.At(0, 0), m.At(1, 1))
+		}
+		if c.Rank() < p-1 {
+			c.SendMat(c.Rank()+1, 0, m)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortReclaimsPooledWireBuffers is the pool-reclaim regression test:
+// when a run aborts with pooled wire buffers still undelivered (numeric
+// SendMat traffic nobody received), the post-run sweep must return them and
+// their queue carcasses to the pools — under both executors.
+func TestAbortReclaimsPooledWireBuffers(t *testing.T) {
+	for _, ex := range []Executor{ExecGoroutines, ExecEvents} {
+		w := NewWorld(3, true)
+		_, err := Exec(context.Background(), Config{World: w, Executor: ex}, func(c *Comm) error {
+			switch c.Rank() {
+			case 0:
+				m := mat.New(4, 4)
+				c.SendMat(2, 1, m) // never received: tag 1 ≠ awaited tag 9
+				c.SendMat(2, 2, m)
+				return nil
+			case 1:
+				return fmt.Errorf("injected failure")
+			default:
+				c.Recv(1, 9) // blocks until the abort unwinds it
+				return nil
+			}
+		})
+		if err == nil || errors.Is(err, ErrAborted) {
+			t.Fatalf("%s: want the injected failure, got %v", ex, err)
+		}
+		if w.reclaimed.bufs != 2 {
+			t.Fatalf("%s: reclaimed %d pooled buffers, want 2", ex, w.reclaimed.bufs)
+		}
+		if w.reclaimed.queues == 0 {
+			t.Fatalf("%s: no queue carcasses reclaimed", ex)
+		}
+		for r, mb := range w.boxes {
+			if len(mb.q) != 0 {
+				t.Fatalf("%s: rank %d mailbox still holds %d keys after reclaim", ex, r, len(mb.q))
+			}
+		}
+	}
+}
+
+// TestCancelReclaimsPools covers the RunContextWorld-style cancellation
+// path: a canceled run must unwind blocked ranks promptly and sweep the
+// stranded pooled payloads, under both executors.
+func TestCancelReclaimsPools(t *testing.T) {
+	for _, ex := range []Executor{ExecGoroutines, ExecEvents} {
+		w := NewWorld(2, true)
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := Exec(ctx, Config{World: w, Executor: ex}, func(c *Comm) error {
+			if c.Rank() == 0 {
+				m := mat.New(3, 3)
+				c.SendMat(1, 99, m) // never received
+				cancel()
+			}
+			c.Recv(1-c.Rank(), 7) // both ranks block until the abort
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want ErrCanceled wrapping context.Canceled", ex, err)
+		}
+		if w.reclaimed.bufs != 1 {
+			t.Fatalf("%s: reclaimed %d pooled buffers, want 1", ex, w.reclaimed.bufs)
+		}
+		for r, mb := range w.boxes {
+			if len(mb.q) != 0 {
+				t.Fatalf("%s: rank %d mailbox still holds %d keys", ex, r, len(mb.q))
+			}
+		}
+	}
+}
+
+// TestEventExecutorDeadlockSurfacesViaTimeout: an all-ranks-blocked
+// schedule deadlock under the event executor must not fail fast — the
+// scheduler parks until the deadline aborts the world, exactly like the
+// goroutine executor's semantics.
+func TestEventExecutorDeadlockSurfacesViaTimeout(t *testing.T) {
+	start := time.Now()
+	_, err := Exec(context.Background(),
+		Config{P: 2, Payload: false, Executor: ExecEvents, Timeout: 100 * time.Millisecond},
+		func(c *Comm) error {
+			c.Recv(1-c.Rank(), 3) // nobody sends: deadlock
+			return nil
+		})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("deadlock surfaced after %v, before the deadline", elapsed)
+	}
+}
+
+// TestEventExecutorDeterminismStress runs several identical event-loop
+// simulations concurrently (under -race in CI) and requires bit-identical
+// reports: the loops share the wire-buffer pools and the window registry,
+// and any cross-world interference or unsynchronized scheduler state would
+// show up as a diff or a race report.
+func TestEventExecutorDeterminismStress(t *testing.T) {
+	const trials, p = 4, 7
+	reps := make([]*trace.Report, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = Exec(context.Background(), Config{P: p, Executor: ExecEvents}, parityWorkload)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < trials; i++ {
+		if errs[i] != nil {
+			t.Fatalf("trial %d: %v", i, errs[i])
+		}
+		if i > 0 {
+			if err := reportsEqual(reps[0], reps[i]); err != nil {
+				t.Fatalf("trial %d diverged: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestExecWorldOverridesScalars pins the Config contract: a caller-built
+// World wins over the P/Payload/Machine fields.
+func TestExecWorldOverridesScalars(t *testing.T) {
+	w := NewWorld(3, false)
+	rep, err := Exec(context.Background(), Config{P: 99, Payload: true, World: w}, func(c *Comm) error {
+		if c.Size() != 3 || c.Payload() {
+			return fmt.Errorf("world not honored: size %d payload %v", c.Size(), c.Payload())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P != 3 {
+		t.Fatalf("report P = %d, want 3", rep.P)
+	}
+	if rep.Executor != string(ExecEvents) {
+		t.Fatalf("volume-mode auto resolved to %q, want events", rep.Executor)
+	}
+}

@@ -47,16 +47,29 @@ type mailbox struct {
 	// this slot survives GC cycles (allocation-heavy replays collect
 	// often enough to wipe sync.Pools mid-run).
 	free *msgQueue
+
+	// rank is the owning world rank (a mailbox belongs to exactly one).
+	rank int
+	// Event-executor wait registration: when the owner is parked in the
+	// scheduler awaiting a message, evWaiting is true and evKey names the
+	// stream it awaits; the put that matches evKey pushes the owner back
+	// onto the ready heap. Written by the owner before yielding, read by
+	// the sender after taking the baton — the scheduler's channel handoffs
+	// provide the happens-before edges, so no lock is needed (see
+	// events.go).
+	evWaiting bool
+	evKey     msgKey
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{q: make(map[msgKey]*msgQueue)}
+func newMailbox(rank int) *mailbox {
+	mb := &mailbox{q: make(map[msgKey]*msgQueue), rank: rank}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
 // queueLocked returns the FIFO for k, leasing a recycled one if the key is
-// new. Caller holds mb.mu.
+// new. Caller holds mb.mu — or holds the event scheduler's baton, which
+// serializes all mailbox access in that mode.
 func (mb *mailbox) queueLocked(k msgKey) *msgQueue {
 	q := mb.q[k]
 	if q == nil {
@@ -71,7 +84,7 @@ func (mb *mailbox) queueLocked(k msgKey) *msgQueue {
 }
 
 // reclaimLocked deletes a drained key and recycles its queue. Caller holds
-// mb.mu and guarantees q is empty.
+// mb.mu (or the event baton) and guarantees q is empty.
 func (mb *mailbox) reclaimLocked(k msgKey, q *msgQueue) {
 	delete(mb.q, k)
 	q.buf = q.buf[:0]
@@ -83,7 +96,20 @@ func (mb *mailbox) reclaimLocked(k msgKey, q *msgQueue) {
 	}
 }
 
-func (mb *mailbox) put(k msgKey, m Msg) {
+func (mb *mailbox) put(w *World, k msgKey, m Msg) {
+	if s := w.sched; s != nil {
+		// Event mode: the caller holds the baton, so access is exclusive
+		// and lock-free. If the owner is parked awaiting exactly this
+		// stream, re-arm it on the ready heap (once — further deliveries
+		// find evWaiting already cleared).
+		q := mb.queueLocked(k)
+		q.buf = append(q.buf, m)
+		if mb.evWaiting && mb.evKey == k {
+			mb.evWaiting = false
+			s.makeReady(mb.rank)
+		}
+		return
+	}
 	mb.mu.Lock()
 	q := mb.queueLocked(k)
 	q.buf = append(q.buf, m)
@@ -96,8 +122,11 @@ func (mb *mailbox) put(k msgKey, m Msg) {
 // take blocks until a message under k is available and pops it. The queue
 // pointer is resolved once; the wait loop re-checks only its length. On
 // abort the pending take panics with ErrAborted (see World.Abort for why
-// the wake-up broadcast must hold this mutex).
+// the goroutine-mode wake-up broadcast must hold this mutex).
 func (mb *mailbox) take(w *World, k msgKey) Msg {
+	if s := w.sched; s != nil {
+		return mb.takeEvent(w, s, k)
+	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	q := mb.queueLocked(k)
@@ -111,6 +140,36 @@ func (mb *mailbox) take(w *World, k msgKey) Msg {
 		mb.cond.Wait()
 		mb.waiters--
 	}
+	return mb.popLocked(k, q)
+}
+
+// takeEvent is take under the event executor: instead of parking on the
+// condvar, the rank registers the awaited key and yields the baton; the
+// matching put re-arms it. The abort flag is rechecked before every yield
+// so an unwinding world never re-parks a rank.
+func (mb *mailbox) takeEvent(w *World, s *eventScheduler, k msgKey) Msg {
+	q := mb.queueLocked(k)
+	for q.head >= len(q.buf) {
+		if w.aborted.Load() {
+			mb.reclaimLocked(k, q)
+			panic(ErrAborted)
+		}
+		mb.evWaiting = true
+		mb.evKey = k
+		ok := s.yieldBlocked(mb.rank)
+		mb.evWaiting = false
+		if !ok {
+			mb.reclaimLocked(k, q)
+			panic(ErrAborted)
+		}
+	}
+	return mb.popLocked(k, q)
+}
+
+// popLocked removes the head message, reclaiming the queue if that drained
+// it. Caller holds mb.mu (or the event baton) and guarantees q is
+// non-empty.
+func (mb *mailbox) popLocked(k msgKey, q *msgQueue) Msg {
 	m := q.buf[q.head]
 	q.buf[q.head] = Msg{} // release payload references to the GC
 	q.head++

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime/debug"
-	"sync"
 	"time"
 
 	"repro/internal/trace"
 )
+
+// This file keeps the eight historical entry points of the runtime as thin
+// wrappers over Exec (see exec.go), which replaced them. They remain for
+// source compatibility; new code should call Exec with a Config.
 
 // ErrCanceled is the sentinel wrapped by every run that was interrupted by
 // its context (cancellation or deadline). Callers test for it with
@@ -20,105 +22,48 @@ var ErrCanceled = errors.New("smpi: run canceled")
 // RankFunc is the body executed by every rank of a simulated run.
 type RankFunc func(c *Comm) error
 
-// Run executes fn on p ranks (one goroutine each) and returns the
-// communication-volume report (including the simulated-time sub-report
-// under the default α-β machine). The first rank error (or panic, converted
-// to an error) aborts the result; remaining ranks are still drained to
-// avoid goroutine leaks in the common all-ranks-fail-together cases.
+// Run executes fn on p ranks and returns the communication-volume report
+// (including the simulated-time sub-report under the default α-β machine).
+//
+// Deprecated: use Exec.
 func Run(p int, payload bool, fn RankFunc) (*trace.Report, error) {
-	w := NewWorld(p, payload)
-	return RunWorld(w, fn)
+	return Exec(context.Background(), Config{P: p, Payload: payload}, fn)
 }
 
 // RunMachine is Run with explicit α-β machine parameters for the timeline.
+//
+// Deprecated: use Exec.
 func RunMachine(p int, payload bool, m trace.Machine, fn RankFunc) (*trace.Report, error) {
-	return RunWorld(NewWorldMachine(p, payload, m), fn)
+	return Exec(context.Background(), Config{P: p, Payload: payload, Machine: m, MachineSet: true}, fn)
 }
 
 // RunWorld is Run with a caller-configured world (fault injection, etc.).
-// The first failing rank aborts the world so that ranks blocked on receives
-// unwind instead of deadlocking; their secondary ErrAborted panics are
-// filtered out in favour of the originating error.
+//
+// Deprecated: use Exec.
 func RunWorld(w *World, fn RankFunc) (*trace.Report, error) {
-	errs := make([]error, w.P)
-	var wg sync.WaitGroup
-	for r := 0; r < w.P; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
-						errs[rank] = ErrAborted
-					} else {
-						errs[rank] = fmt.Errorf("smpi: rank %d panicked: %v\n%s", rank, rec, debug.Stack())
-					}
-					w.Abort()
-					return
-				}
-				if errs[rank] != nil {
-					w.Abort()
-				}
-			}()
-			errs[rank] = fn(WorldComm(w, rank))
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil && !errors.Is(err, ErrAborted) {
-			return w.Trace.Report(), err
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return w.Trace.Report(), err
-		}
-	}
-	return w.Trace.Report(), nil
+	return Exec(context.Background(), Config{World: w}, fn)
 }
 
 // RunContext executes fn on p ranks under the default α-β machine, aborting
 // the simulation when ctx is canceled or its deadline passes.
+//
+// Deprecated: use Exec.
 func RunContext(ctx context.Context, p int, payload bool, fn RankFunc) (*trace.Report, error) {
-	return RunContextMachine(ctx, p, payload, trace.DefaultMachine(), fn)
+	return Exec(ctx, Config{P: p, Payload: payload}, fn)
 }
 
 // RunContextMachine is RunContext with explicit α-β machine parameters.
+//
+// Deprecated: use Exec.
 func RunContextMachine(ctx context.Context, p int, payload bool, m trace.Machine, fn RankFunc) (*trace.Report, error) {
-	return RunContextWorld(ctx, NewWorldMachine(p, payload, m), fn)
+	return Exec(ctx, Config{P: p, Payload: payload, Machine: m, MachineSet: true}, fn)
 }
 
-// RunContextWorld runs fn on a caller-configured world under ctx. When ctx
-// is done the world is aborted: every rank blocked on a receive unwinds
-// immediately (and computing ranks unwind at their next communication
-// point), so an in-flight simulation is interrupted promptly rather than
-// run to completion or abandoned. The returned error wraps ErrCanceled and
-// the context's cause. A run that completes before cancellation lands is
-// returned as a success.
+// RunContextWorld runs fn on a caller-configured world under ctx.
+//
+// Deprecated: use Exec.
 func RunContextWorld(ctx context.Context, w *World, fn RankFunc) (*trace.Report, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, canceledErr(ctx)
-	}
-	// The watcher holds the world open until the run returns, so a
-	// cancellation arriving at any point wakes the blocked ranks exactly
-	// once and the goroutine never leaks.
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-ctx.Done():
-			w.Abort()
-		case <-done:
-		}
-	}()
-	rep, err := RunWorld(w, fn)
-	close(done)
-	if err != nil && ctx.Err() != nil {
-		// The abort unwound the ranks (surfacing as ErrAborted or as
-		// engine errors on half-delivered schedules); the context is the
-		// root cause, so it wins.
-		return rep, canceledErr(ctx)
-	}
-	return rep, err
+	return Exec(ctx, Config{World: w}, fn)
 }
 
 func canceledErr(ctx context.Context) error {
@@ -132,16 +77,16 @@ func canceledErr(ctx context.Context) error {
 }
 
 // RunTimeout is Run with a deadline; it fails rather than deadlocking when a
-// schedule bug leaves ranks blocked on Recv. The deadline aborts the world,
-// so the ranks of a timed-out run unwind instead of leaking.
+// schedule bug leaves ranks blocked on Recv.
+//
+// Deprecated: use Exec.
 func RunTimeout(p int, payload bool, d time.Duration, fn RankFunc) (*trace.Report, error) {
-	return RunTimeoutMachine(p, payload, trace.DefaultMachine(), d, fn)
+	return Exec(context.Background(), Config{P: p, Payload: payload, Timeout: d}, fn)
 }
 
 // RunTimeoutMachine is RunTimeout with explicit α-β machine parameters.
+//
+// Deprecated: use Exec.
 func RunTimeoutMachine(p int, payload bool, m trace.Machine, d time.Duration, fn RankFunc) (*trace.Report, error) {
-	ctx, cancel := context.WithTimeoutCause(context.Background(), d,
-		fmt.Errorf("smpi: run did not complete within %v (likely schedule deadlock)", d))
-	defer cancel()
-	return RunContextMachine(ctx, p, payload, m, fn)
+	return Exec(context.Background(), Config{P: p, Payload: payload, Machine: m, MachineSet: true, Timeout: d}, fn)
 }

@@ -35,6 +35,23 @@ type World struct {
 	boxes   []*mailbox
 	aborted atomic.Bool
 
+	// sched is non-nil when the world runs under the discrete-event
+	// executor (see events.go): ranks then yield blocked receives to the
+	// scheduler instead of parking on mailbox condvars, and at most one
+	// rank executes at a time. executor records the resolved choice for
+	// the report stamp.
+	sched    *eventScheduler
+	executor Executor
+
+	// reclaimed counts what the post-run sweep returned to the pools
+	// (leased wire buffers of undelivered messages, emptied queue
+	// carcasses). Written once after all ranks have unwound; read by the
+	// abort-path regression tests.
+	reclaimed struct {
+		bufs   int
+		queues int
+	}
+
 	// FailSend, when non-nil, is consulted on every point-to-point delivery;
 	// a non-nil error makes the sending rank panic with it (the runner turns
 	// rank panics into run errors). Used for failure-injection tests.
@@ -60,7 +77,7 @@ func NewWorldMachine(p int, payload bool, m trace.Machine) *World {
 	w.Trace.ExcludeFromTiming(trace.PhaseLayout, trace.PhaseCollect)
 	w.boxes = make([]*mailbox, p)
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(i)
 	}
 	return w
 }
@@ -69,7 +86,11 @@ func NewWorldMachine(p int, payload bool, m trace.Machine) *World {
 // (pivot indices and other metadata, carried in both modes), and N, the
 // metered element count (8 bytes each). The unexported fields carry the
 // sender's timeline stamp (send-completion clock and phase label); Send
-// overwrites them, so callers never need to set them.
+// overwrites them, so callers never need to set them. pooled marks payload
+// slices leased from the runtime's pools (SendMat wire buffers, the MaxLoc
+// reduction pairs): an aborted run returns those — and only those — to
+// their pools when it sweeps undelivered messages, so caller-owned payloads
+// handed to raw Send are never aliased into the pool behind the caller.
 type Msg struct {
 	F []float64
 	I []int
@@ -77,6 +98,7 @@ type Msg struct {
 
 	sendTime  float64
 	sendPhase string
+	pooled    bool
 }
 
 // msgKey identifies one point-to-point stream. The communicator component
@@ -102,8 +124,14 @@ var ErrAborted = errors.New("smpi: run aborted by another rank's failure")
 // check and cond.Wait holds that mutex, so acquiring it orders the store
 // before the rank's recheck — an unlocked broadcast could land in that
 // window and be lost, leaving the rank (and the whole run) blocked forever.
+// Under the event executor no rank waits on a condvar; the abort instead
+// wakes the scheduler (which may be idling on an all-ranks-blocked
+// schedule deadlock) so it unwinds every parked rank.
 func (w *World) Abort() {
 	w.aborted.Store(true)
+	if s := w.sched; s != nil {
+		s.signalAbort()
+	}
 	for _, mb := range w.boxes {
 		mb.mu.Lock()
 		mb.cond.Broadcast()
@@ -200,7 +228,7 @@ func (c *Comm) Send(to, tag int, msg Msg) {
 		msg.sendPhase = *c.phase
 		msg.sendTime = c.w.Trace.RecordSend(src, dst, bytes, msg.sendPhase)
 	}
-	c.w.boxes[dst].put(msgKey{src: src, comm: c.id, tag: tag}, msg)
+	c.w.boxes[dst].put(c.w, msgKey{src: src, comm: c.id, tag: tag}, msg)
 }
 
 // Recv blocks until a message from communicator rank `from` under `tag`
@@ -229,7 +257,7 @@ func (c *Comm) SendMat(to, tag int, m *mat.Matrix) {
 		c.Send(to, tag, Msg{N: m.Len()})
 		return
 	}
-	c.Send(to, tag, Msg{F: m.PackInto(getFloats(m.Len())), N: m.Len()})
+	c.Send(to, tag, Msg{F: m.PackInto(getFloats(m.Len())), N: m.Len(), pooled: true})
 }
 
 // RecvMat receives into dst (shape must match the metered count) and

@@ -44,6 +44,13 @@ func registryFor(w *World) *windowRegistry {
 	return got.(*windowRegistry)
 }
 
+// dropWindowRegistry forgets the world's registry entry once its run has
+// unwound. Without this the package-global map pins every World (and its
+// window matrices) ever run — a leak across long sweeps.
+func dropWindowRegistry(w *World) {
+	registries.Delete(w)
+}
+
 // NewWindow exposes the rank's local matrix for one-sided access under a
 // collective window id (all ranks of the communicator must create the
 // window with the same id before any access; a Fence is implied).

@@ -176,6 +176,17 @@ func NewTimeline(p int, m Machine) *Timeline {
 // Machine returns the α-β parameters the timeline advances clocks with.
 func (t *Timeline) Machine() Machine { return t.machine }
 
+// Clock returns rank's current logical clock. The discrete-event executor
+// orders its ready queue by this value (conservative discrete-event
+// scheduling: always advance the rank whose simulated present is earliest).
+func (t *Timeline) Clock(rank int) float64 {
+	s := &t.shards[rank]
+	s.mu.Lock()
+	c := s.clock
+	s.mu.Unlock()
+	return c
+}
+
 // SetEventCap bounds event retention (0 retains nothing; aggregates and
 // clocks are unaffected). Call before the run starts.
 func (t *Timeline) SetEventCap(n int) { t.eventCap.Store(int64(n)) }

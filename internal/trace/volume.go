@@ -31,6 +31,11 @@ type Report struct {
 	// split, critical-path phase attribution). Derived from the same
 	// timeline as the volume fields above.
 	Time *TimeReport
+	// Executor names the run executor that produced this report
+	// ("goroutines" or "events"); stamped by the smpi runner. Both
+	// executors produce byte-identical volume and bit-identical clocks,
+	// so the field is provenance, not a caveat.
+	Executor string
 }
 
 // TotalMsgs is the aggregate message count.

@@ -56,6 +56,12 @@ type SessionStats struct {
 	Bytes int64
 	// SimTime is the sum of the simulated α-β makespans, in seconds.
 	SimTime float64
+	// Executor is the resolved executor ("goroutines" or "events") of the
+	// most recent completed run. Under the default "auto" selection it
+	// varies by job kind — numeric jobs (Factorize, Solve) run on
+	// goroutines, volume replays on the event loop — so it reports what
+	// actually ran, not the configured choice.
+	Executor string
 }
 
 // sessionConfig is the resolved, immutable configuration of a Session.
@@ -70,6 +76,7 @@ type sessionConfig struct {
 	refineSweeps int
 	nb           int
 	timeout      time.Duration
+	executor     smpi.Executor // "" = auto
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -186,6 +193,27 @@ func WithBlockSize(nb int) Option {
 	}
 }
 
+// WithExecutor selects how simulations schedule their ranks: "goroutines"
+// (one live goroutine per rank), "events" (the discrete-event loop — ranks
+// are coroutines driven by a clock-ordered scheduler, which is what makes
+// beyond-paper scales like P = 4096 tractable), or "auto" (the default:
+// events for volume replays, goroutines for numeric runs). Both executors
+// produce byte-identical volume and bit-identical simulated time; see
+// DESIGN.md §11. An unknown name fails New with ErrUnknownExecutor. The
+// resolved choice of each run is reported in Stats().Executor,
+// Result.Executor, and VolumeReport.Executor.
+func WithExecutor(name string) Option {
+	return func(c *sessionConfig) error {
+		e := smpi.Executor(name)
+		if !e.Valid() {
+			return fmt.Errorf("%w: %q (want %q, %q, or %q)",
+				ErrUnknownExecutor, name, smpi.ExecAuto, smpi.ExecGoroutines, smpi.ExecEvents)
+		}
+		c.executor = e
+		return nil
+	}
+}
+
 // WithTimeout sets the safety-net bound on every simulation the session
 // runs, applied on top of whatever deadline the per-call context carries —
 // it exists so a schedule bug surfaces as ErrCanceled instead of a
@@ -264,7 +292,13 @@ func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.Rank
 			fmt.Errorf("conflux: simulation exceeded the session safety timeout %v", s.cfg.timeout))
 		defer cancel()
 	}
-	rep, err := smpi.RunContextMachine(ctx, world, payload, s.cfg.machine, fn)
+	rep, err := smpi.Exec(ctx, smpi.Config{
+		P:          world,
+		Payload:    payload,
+		Machine:    s.cfg.machine,
+		MachineSet: true,
+		Executor:   s.cfg.executor,
+	}, fn)
 	if err != nil {
 		return nil, publicErr(err)
 	}
@@ -272,6 +306,7 @@ func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.Rank
 	s.stats.Runs++
 	s.stats.Bytes += rep.TotalBytes()
 	s.stats.SimTime += rep.Time.Makespan
+	s.stats.Executor = rep.Executor
 	s.mu.Unlock()
 	return rep, nil
 }
@@ -312,6 +347,7 @@ func (s *Session) Factorize(ctx context.Context, a *Matrix) (*Result, error) {
 	out.Volume = rep
 	out.Time = rep.Time.Makespan
 	out.CommTime = rep.Time.CritBusy()
+	out.Executor = rep.Executor
 	out.sess = s
 	return out, nil
 }
