@@ -93,7 +93,7 @@ func main() {
 
 func realMain() (code int) {
 	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | perf | sched | all")
-	sc := flag.String("scale", "small", "scale preset: small | medium | paper")
+	sc := flag.String("scale", "small", "scale preset: small | medium | paper (-exp sched also takes beyond)")
 	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
 	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
@@ -102,12 +102,17 @@ func realMain() (code int) {
 	jsonOut := flag.String("json", "", "with -exp smoke|perf|sched: write the machine-readable record to this path")
 	solveNRHS := flag.Int("nrhs", 0, "with -exp solve: override the scale preset's right-hand-side count")
 	executor := flag.String("executor", "auto", "smpi executor for replayed worlds: auto | goroutines | events")
+	execWorkers := flag.Int("workers", 0, "event-executor window width: ranks of one world run concurrently (0|1 = serial, -1 = NumCPU)")
 	workers := flag.Int("parallel", 0, "independent simulated worlds to run concurrently (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this path")
 	flag.Parse()
 	bench.Machine = costmodel.Machine{Alpha: *alpha, Beta: *beta}
 	bench.Workers = *workers
+	bench.ExecWorkers = *execWorkers
+	if bench.ExecWorkers < 0 {
+		bench.ExecWorkers = runtime.NumCPU()
+	}
 	bench.Executor = smpi.Executor(*executor)
 	if !bench.Executor.Valid() {
 		fmt.Fprintf(os.Stderr, "unknown executor %q (want auto, goroutines, or events)\n", *executor)
@@ -168,8 +173,13 @@ func realMain() (code int) {
 	}
 	s, ok := scales[*sc]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *sc)
-		return 2
+		// "beyond" exists only for the sched sweep (the N=65,536 frontier);
+		// bench.SchedCases validates it, and the sched runner never reads
+		// the scale struct.
+		if !(*exp == "sched" && *sc == "beyond") {
+			fmt.Fprintf(os.Stderr, "unknown scale %q\n", *sc)
+			return 2
+		}
 	}
 	// The first failing experiment stops the sweep; later run() calls are
 	// no-ops and realMain returns non-zero after the defers flush.

@@ -74,6 +74,45 @@ func TestWithExecutorParityAndReporting(t *testing.T) {
 	}
 }
 
+// TestWithWorkers pins the public multi-core contract: WithWorkers
+// validates its argument, a wide-window session's volume replay is
+// bit-identical to the serial one, and the report carries the clamped
+// width that actually ran.
+func TestWithWorkers(t *testing.T) {
+	if _, err := New(WithWorkers(0)); err == nil {
+		t.Fatal("WithWorkers(0) accepted")
+	}
+	n, p := 96, 6
+	serial, err := New(WithRanks(p), WithExecutor("events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := serial.CommVolume(t.Context(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Workers != 1 {
+		t.Fatalf("serial replay stamped Workers = %d, want 1", base.Workers)
+	}
+	for _, w := range []int{2, 4, 64} {
+		s, err := New(WithRanks(p), WithExecutor("events"), WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.CommVolume(t.Context(), n)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if want := min(w, p); rep.Workers != want {
+			t.Fatalf("workers=%d: report stamped %d, want %d", w, rep.Workers, want)
+		}
+		if rep.TotalBytes() != base.TotalBytes() || rep.Time.Makespan != base.Time.Makespan {
+			t.Fatalf("workers=%d diverged: %d/%v vs %d/%v",
+				w, rep.TotalBytes(), rep.Time.Makespan, base.TotalBytes(), base.Time.Makespan)
+		}
+	}
+}
+
 // TestAutoExecutorResolution pins the default policy: volume replays run on
 // the event loop, numeric factorizations on goroutines.
 func TestAutoExecutorResolution(t *testing.T) {

@@ -77,6 +77,14 @@ var Machine = costmodel.DefaultMachine()
 // host-side wall-clock/allocation profile.
 var Executor smpi.Executor
 
+// ExecWorkers is the event executor's concurrent-window width for replayed
+// worlds (cmd/confluxbench wires -workers here; the sched experiment sweeps
+// it). 0 or 1 is the serial schedule. Like Executor, it changes only the
+// host-side profile — reports are bit-identical at every width. Distinct
+// from Workers in parallel.go, which fans independent worlds across cores;
+// ExecWorkers parallelizes the ranks of a single world.
+var ExecWorkers int
+
 // LibSciNB is the "user-specified" ScaLAPACK block size used throughout the
 // harness (Table 2 lists LibSci's block size as a user parameter). It
 // aliases the engine's own default so harness measurements and public-API
@@ -94,6 +102,7 @@ func runVolume(ctx context.Context, p int, fn smpi.RankFunc) (*trace.Report, err
 		Machine:    Machine,
 		MachineSet: true,
 		Executor:   Executor,
+		Workers:    ExecWorkers,
 	}, fn)
 }
 

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cholesky"
@@ -17,11 +19,22 @@ import (
 // criterion: the four Table 2 LU codes plus the Cholesky extension kernel.
 var allEngines = append(append([]costmodel.Algorithm(nil), costmodel.Algorithms...), costmodel.Cholesky)
 
+// parityWorkerCounts is the concurrent-window sweep of the acceptance
+// criterion: widths {1, 2, 4} plus the host's NumCPU when distinct.
+func parityWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
 // runEngineExecutor replays one engine's volume-mode schedule under an
-// explicitly selected executor and returns the trace report.
-func runEngineExecutor(t *testing.T, algo costmodel.Algorithm, n, p int, mem float64, ex smpi.Executor) *trace.Report {
+// explicitly selected executor and window width and returns the trace
+// report.
+func runEngineExecutor(t *testing.T, algo costmodel.Algorithm, n, p int, mem float64, ex smpi.Executor, workers int) *trace.Report {
 	t.Helper()
-	rep, err := smpi.Exec(context.Background(), smpi.Config{P: p, Payload: false, Executor: ex}, func(c *smpi.Comm) error {
+	rep, err := smpi.Exec(context.Background(), smpi.Config{P: p, Payload: false, Executor: ex, Workers: workers}, func(c *smpi.Comm) error {
 		var err error
 		switch algo {
 		case costmodel.LibSci:
@@ -85,31 +98,37 @@ func requireExecutorParity(t *testing.T, label string, g, e *trace.Report) {
 
 // TestExecutorParityAllEngines pins the tentpole acceptance criterion at
 // engine level: for all five engines and awkward small world sizes
-// (including non-power-of-two, non-square p), the goroutine and event
-// executors produce byte-identical volume and bit-identical simulated time.
+// (including non-power-of-two, non-square p), the goroutine executor and
+// the event executor at every window width {1, 2, 4, NumCPU} produce
+// byte-identical volume and bit-identical simulated time.
 func TestExecutorParityAllEngines(t *testing.T) {
 	const n = 64
 	for _, algo := range allEngines {
 		for _, p := range []int{3, 4, 5, 6} {
 			mem := costmodel.MaxMemoryParams(n, p).M
-			g := runEngineExecutor(t, algo, n, p, mem, smpi.ExecGoroutines)
-			e := runEngineExecutor(t, algo, n, p, mem, smpi.ExecEvents)
-			label := string(algo) + "/p=" + string(rune('0'+p))
-			requireExecutorParity(t, label, g, e)
+			g := runEngineExecutor(t, algo, n, p, mem, smpi.ExecGoroutines, 0)
+			for _, w := range parityWorkerCounts() {
+				e := runEngineExecutor(t, algo, n, p, mem, smpi.ExecEvents, w)
+				label := fmt.Sprintf("%s/p=%d/w=%d", algo, p, w)
+				requireExecutorParity(t, label, g, e)
+			}
 		}
 	}
 }
 
 // TestExecutorParityPaperScaleSpot is the paper-scale spot check of the
 // same criterion: one COnfLUX replay at a Fig. 6-shaped geometry, compared
-// across executors. Skipped under -short (the full tier-1 run covers it).
+// across executors and against a wide concurrent window. Skipped under
+// -short (the full tier-1 run covers it).
 func TestExecutorParityPaperScaleSpot(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale spot check skipped with -short")
 	}
 	n, p := 2048, 64
 	mem := costmodel.MaxMemoryParams(n, p).M
-	g := runEngineExecutor(t, costmodel.COnfLUX, n, p, mem, smpi.ExecGoroutines)
-	e := runEngineExecutor(t, costmodel.COnfLUX, n, p, mem, smpi.ExecEvents)
+	g := runEngineExecutor(t, costmodel.COnfLUX, n, p, mem, smpi.ExecGoroutines, 0)
+	e := runEngineExecutor(t, costmodel.COnfLUX, n, p, mem, smpi.ExecEvents, 1)
 	requireExecutorParity(t, "COnfLUX/paper-spot", g, e)
+	ew := runEngineExecutor(t, costmodel.COnfLUX, n, p, mem, smpi.ExecEvents, runtime.NumCPU())
+	requireExecutorParity(t, "COnfLUX/paper-spot/wide", g, ew)
 }

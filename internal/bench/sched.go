@@ -22,15 +22,22 @@ import (
 // paper preset includes the beyond-goroutines P=4096 point, which only the
 // event executor replays without thrashing.
 
-// schedCase wall-clocks one COnfLUX volume replay under a pinned executor.
-func schedCase(ex smpi.Executor, n, p, iters int) PerfCase {
+// schedCase wall-clocks one COnfLUX volume replay under a pinned executor
+// and (for the event executor) concurrent-window width. Width 1 keeps the
+// historical row name ("sched/events/...") so records across PR boundaries
+// stay diffable; wider windows get a "-w<N>" suffix.
+func schedCase(ex smpi.Executor, workers, n, p, iters int) PerfCase {
+	label := string(ex)
+	if workers > 1 {
+		label = fmt.Sprintf("%s-w%d", ex, workers)
+	}
 	return PerfCase{
-		Name:  fmt.Sprintf("sched/%s/N=%d,P=%d", ex, n, p),
+		Name:  fmt.Sprintf("sched/%s/N=%d,P=%d", label, n, p),
 		Iters: iters,
 		Run: func(ctx context.Context) error {
-			saved := Executor
-			Executor = ex
-			defer func() { Executor = saved }()
+			savedEx, savedW := Executor, ExecWorkers
+			Executor, ExecWorkers = ex, workers
+			defer func() { Executor, ExecWorkers = savedEx, savedW }()
 			_, err := Measure(ctx, costmodel.COnfLUX, n, p, costmodel.MaxMemoryParams(n, p).M)
 			return err
 		},
@@ -43,18 +50,24 @@ func schedCase(ex smpi.Executor, n, p, iters int) PerfCase {
 // and the beyond-paper P=4,096 replay under the event executor only — the
 // goroutine executor is omitted there by design (4,096 live stacks thrash
 // the host scheduler; making that point tractable is the event loop's
-// reason to exist).
+// reason to exist). Every point also runs the event executor at window
+// widths 2 and 4, so benchdiff catches multi-worker regressions on the
+// same rows run over run.
 func SchedCases(scale string) ([]PerfCase, error) {
-	both := func(n, p, iters int) []PerfCase {
-		return []PerfCase{
-			schedCase(smpi.ExecGoroutines, n, p, iters),
-			schedCase(smpi.ExecEvents, n, p, iters),
+	point := func(n, p, iters int, goroutines bool) []PerfCase {
+		var cs []PerfCase
+		if goroutines {
+			cs = append(cs, schedCase(smpi.ExecGoroutines, 1, n, p, iters))
 		}
+		for _, w := range []int{1, 2, 4} {
+			cs = append(cs, schedCase(smpi.ExecEvents, w, n, p, iters))
+		}
+		return cs
 	}
-	small := both(1024, 64, 3)
-	medium := append(small[:len(small):len(small)], both(4096, 256, 1)...)
+	small := point(1024, 64, 3, true)
+	medium := append(small[:len(small):len(small)], point(4096, 256, 1, true)...)
 	paper := append(medium[:len(medium):len(medium)],
-		append(both(16384, 1024, 1), schedCase(smpi.ExecEvents, 16384, 4096, 1))...)
+		append(point(16384, 1024, 1, true), point(16384, 4096, 1, false)...)...)
 	switch scale {
 	case "small":
 		return small, nil
@@ -62,6 +75,19 @@ func SchedCases(scale string) ([]PerfCase, error) {
 		return medium, nil
 	case "paper":
 		return paper, nil
+	case "beyond":
+		// Deliberately NOT nested: each row here is hour-scale on a laptop,
+		// so "beyond" is only the N=65,536 / P=16,384 frontier itself
+		// (single- vs multi-worker event executor, one rep, no warm-up) —
+		// rerun -scale paper separately for the comparable smaller rows.
+		cs := []PerfCase{
+			schedCase(smpi.ExecEvents, 1, 65536, 16384, 1),
+			schedCase(smpi.ExecEvents, 4, 65536, 16384, 1),
+		}
+		for i := range cs {
+			cs[i].NoWarm = true
+		}
+		return cs, nil
 	}
 	return nil, fmt.Errorf("bench: unknown sched scale %q", scale)
 }

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSchedCasesScales pins the preset structure benchdiff depends on:
+// small ⊂ medium ⊂ paper (so records at different scales share comparable
+// rows), width-1 rows keep the historical "sched/events/" name, and the
+// standalone "beyond" preset is exactly the N=65,536 frontier with warm-up
+// skipped (its rows are hour-scale).
+func TestSchedCasesScales(t *testing.T) {
+	names := func(cs []PerfCase) []string {
+		out := make([]string, len(cs))
+		for i, c := range cs {
+			out[i] = c.Name
+		}
+		return out
+	}
+	small, err := SchedCases("small")
+	if err != nil {
+		t.Fatalf("small: %v", err)
+	}
+	medium, err := SchedCases("medium")
+	if err != nil {
+		t.Fatalf("medium: %v", err)
+	}
+	paper, err := SchedCases("paper")
+	if err != nil {
+		t.Fatalf("paper: %v", err)
+	}
+	for i, n := range names(small) {
+		if names(medium)[i] != n || names(paper)[i] != n {
+			t.Errorf("presets do not nest at row %d: small=%q medium=%q paper=%q",
+				i, n, names(medium)[i], names(paper)[i])
+		}
+	}
+	if len(medium) <= len(small) || len(paper) <= len(medium) {
+		t.Errorf("preset sizes not strictly growing: %d, %d, %d",
+			len(small), len(medium), len(paper))
+	}
+	var w1, wide int
+	for _, n := range names(paper) {
+		switch {
+		case strings.HasPrefix(n, "sched/events/"):
+			w1++
+		case strings.HasPrefix(n, "sched/events-w"):
+			wide++
+		}
+	}
+	if w1 == 0 || wide == 0 {
+		t.Errorf("paper preset missing executor-width rows: %d width-1, %d wider (%v)",
+			w1, wide, names(paper))
+	}
+
+	beyond, err := SchedCases("beyond")
+	if err != nil {
+		t.Fatalf("beyond: %v", err)
+	}
+	if len(beyond) != 2 {
+		t.Fatalf("beyond preset has %d rows, want 2: %v", len(beyond), names(beyond))
+	}
+	for _, c := range beyond {
+		if !strings.Contains(c.Name, "N=65536,P=16384") {
+			t.Errorf("beyond row %q is not the N=65,536 / P=16,384 frontier", c.Name)
+		}
+		if !c.NoWarm {
+			t.Errorf("beyond row %q should skip warm-up", c.Name)
+		}
+	}
+
+	if _, err := SchedCases("nope"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -1,35 +1,52 @@
-// The discrete-event executor: one runnable rank at a time, scheduled by
-// logical clock (see DESIGN.md §11).
+// The discrete-event executor: ranks advance in clock-ordered windows —
+// one rank at a time when workers == 1, a concurrent batch of the W
+// earliest ready ranks when workers > 1 (see DESIGN.md §11–§12).
 //
 // The goroutine executor gives every rank a live goroutine parked on a
 // mailbox condvar; at P = 1024 that is a thousand stacks and a kernel-level
 // scheduler handoff per matched receive, and beyond-paper scales
 // (P ≥ 4096) thrash. The event executor keeps the rank bodies exactly as
 // written — ordinary imperative RankFuncs — but turns the goroutines into
-// coroutines: a baton-passing discipline guarantees at most one rank
-// executes at any instant, and control moves by explicit yields.
+// coroutines: a baton-passing discipline guarantees at most `workers` ranks
+// execute at any instant, and control moves by explicit yields.
 //
 //   - A rank runs until its Recv blocks on an empty queue. It then yields:
 //     it registers the key it awaits on its mailbox, sends evBlocked to the
 //     scheduler, and parks on its private resume channel.
-//   - The scheduler pops the ready rank with the smallest (logical clock,
-//     rank) pair from a binary min-heap — conservative discrete-event
-//     scheduling: always advance the rank whose simulated present is
-//     earliest — hands it the baton, and parks on the shared event channel
-//     until the rank yields again or finishes (evDone).
+//   - The scheduler pops the ready ranks with the smallest (logical clock,
+//     rank) pairs from a binary min-heap — conservative discrete-event
+//     scheduling: always advance the ranks whose simulated present is
+//     earliest — hands each a baton, and collects exactly one yield event
+//     per resumed rank from the shared event channel before opening the
+//     next window (the window barrier).
 //   - A send into a mailbox whose owner is parked awaiting that exact key
-//     pushes the owner back onto the ready heap. Sends never block, so the
-//     sender keeps the baton.
+//     re-arms the owner: directly onto the ready heap when the sender is
+//     the sole baton holder (workers == 1), or onto a mutex-guarded wake
+//     list merged into the heap at the window barrier (workers > 1) —
+//     while ranks run concurrently, nothing but the wake list and the
+//     mailboxes is shared. Sends never block, so a sender keeps its baton.
 //
-// Because only the baton holder touches world state, mailbox queue access
-// needs no mutex in event mode, and every handoff crosses a channel — the
-// channel's happens-before edge is what makes the lock-free access sound
-// (and race-detector clean). Determinism needs no scheduling argument at
-// all: per-rank clocks and volume are pure functions of each rank's program
-// order plus FIFO per-(src, comm, tag) matching, identical under any
-// executor — the clock-ordered heap is a performance policy (it bounds
-// mailbox occupancy by draining the causally-earliest rank first), not a
+// With workers == 1 only the baton holder touches world state, so mailbox
+// queue access needs no mutex in event mode and every handoff crosses a
+// channel — the channel's happens-before edge is what makes the lock-free
+// access sound (and race-detector clean). With workers > 1 the ranks of a
+// window run truly concurrently and mailbox access takes the per-mailbox
+// mutex (see mailbox.go); the window barrier's channel receives give the
+// scheduler a happens-before edge over everything the window's ranks did.
+// Determinism needs no scheduling argument at all: per-rank clocks and
+// volume are pure functions of each rank's program order plus FIFO
+// per-(src, comm, tag) matching, identical under any executor and any
+// worker count — the clock-ordered heap is a performance policy (it bounds
+// mailbox occupancy by draining the causally-earliest ranks first), not a
 // correctness requirement.
+//
+// A window resume may be spurious: a rank woken by a put while it was
+// being resumed anyway consumes the message during its window, parks on a
+// later key, and its stale wake entry resumes it once more with nothing
+// matched. The rank rechecks its queue, finds it empty, and re-parks — a
+// wasted handoff, never a wrong result. Entries for ranks that are not
+// parked (still running — impossible between windows — or done) are
+// dropped at pop time.
 //
 // An empty ready heap with live ranks is a schedule deadlock. The scheduler
 // does not fail fast: it parks on abortCh until World.Abort fires (from a
@@ -37,6 +54,10 @@
 // goroutine executor's semantics, where deadlock is detected by deadline.
 // The abort unwind then resumes every parked rank with a false baton, which
 // the blocked take turns into an ErrAborted panic.
+//
+// Scheduler state (baton channels, rank states, heap backing) is pooled
+// across runs: a sweep replays thousands of worlds, and P resume channels
+// per world was a measurable slice of the per-run allocation bill.
 package smpi
 
 import (
@@ -47,18 +68,29 @@ import (
 )
 
 type eventScheduler struct {
-	w      *World
-	states []rankState
+	w *World
+	// workers is the window width: how many ready ranks run concurrently
+	// between barriers. 1 (the default) is the serial baton discipline
+	// with zero locking on the mailbox fast path.
+	workers int
+	states  []rankState
 
-	// events carries yields from the running rank to the scheduler;
-	// unbuffered, so a yield is also the baton handoff.
+	// events carries yields from running ranks to the scheduler;
+	// unbuffered, so a yield is also a baton handoff.
 	events chan schedEvent
 
 	// ready is a hand-rolled binary min-heap of (clock, rank) pairs —
 	// container/heap would box every push through an interface, and the
-	// heap churns once per blocked receive. Only the baton holder (or the
-	// scheduler while no rank runs) touches it, so it is unlocked.
+	// heap churns once per blocked receive. Only the scheduler (or, with
+	// workers == 1, the sole baton holder) touches it, so it is unlocked.
 	ready []readyItem
+
+	// wakes collects ranks re-armed by puts inside a concurrent window
+	// (workers > 1); the scheduler merges it into the heap at the window
+	// barrier, when no rank runs. Guarded by wakeMu, the only lock ranks
+	// of the same window contend on outside their mailboxes.
+	wakeMu sync.Mutex
+	wakes  []int
 
 	abortCh   chan struct{}
 	abortOnce sync.Once
@@ -69,6 +101,11 @@ type rankState struct {
 	// aborted while you were parked, unwind now.
 	resume chan bool
 	done   bool
+	// parked is the scheduler's book: true while the rank waits on its
+	// resume channel. A heap entry for a non-parked rank is stale (the
+	// rank was resumed by the window that was open when its wake landed)
+	// and is dropped at pop time.
+	parked bool
 }
 
 type schedEvent struct {
@@ -89,18 +126,57 @@ type readyItem struct {
 	rank  int
 }
 
-func newEventScheduler(w *World) *eventScheduler {
-	s := &eventScheduler{
-		w:       w,
-		states:  make([]rankState, w.P),
-		events:  make(chan schedEvent),
-		ready:   make([]readyItem, 0, w.P),
-		abortCh: make(chan struct{}),
+// schedPool recycles scheduler state (rank states with their baton
+// channels, the heap and wake backings, the event channel) across runs.
+var schedPool = sync.Pool{New: func() any { return new(eventScheduler) }}
+
+func newEventScheduler(w *World, workers int) *eventScheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > w.P {
+		workers = w.P
+	}
+	s := schedPool.Get().(*eventScheduler)
+	s.w = w
+	s.workers = workers
+	if cap(s.states) >= w.P {
+		s.states = s.states[:w.P]
+	} else {
+		old := s.states[:cap(s.states)]
+		s.states = make([]rankState, w.P)
+		copy(s.states, old) // keep already-made baton channels
 	}
 	for r := range s.states {
-		s.states[r].resume = make(chan bool)
+		if s.states[r].resume == nil {
+			s.states[r].resume = make(chan bool)
+		}
+		s.states[r].done = false
+		// Every rank goroutine parks for its first baton immediately.
+		s.states[r].parked = true
 	}
+	if s.events == nil {
+		s.events = make(chan schedEvent)
+	}
+	if cap(s.ready) < w.P {
+		s.ready = make([]readyItem, 0, w.P)
+	}
+	s.ready = s.ready[:0]
+	s.wakes = s.wakes[:0]
+	// A fresh abort latch per run; the rest of the state is reusable
+	// because run() returns only after every rank goroutine has exited.
+	s.abortCh = make(chan struct{})
+	s.abortOnce = sync.Once{}
 	return s
+}
+
+// release returns the scheduler's state to the pool. The caller must
+// guarantee no goroutine can still reach s — in Exec that means the run
+// has returned (all rank goroutines sent their evDone) and the context
+// watcher has been joined (it calls signalAbort through w.sched).
+func (s *eventScheduler) release() {
+	s.w = nil
+	schedPool.Put(s)
 }
 
 // signalAbort wakes a scheduler parked on an all-ranks-blocked deadlock.
@@ -109,7 +185,7 @@ func (s *eventScheduler) signalAbort() {
 	s.abortOnce.Do(func() { close(s.abortCh) })
 }
 
-// run executes fn on every rank under the baton discipline and returns the
+// run executes fn on every rank under the window discipline and returns the
 // per-rank errors (ErrAborted for ranks unwound by an abort). It returns
 // only after every rank goroutine has finished.
 func (s *eventScheduler) run(fn RankFunc) []error {
@@ -125,9 +201,10 @@ func (s *eventScheduler) run(fn RankFunc) []error {
 	for live > 0 {
 		if s.w.aborted.Load() {
 			// Unwind: hand every parked rank a false baton, sequentially.
-			// Blocked takes panic ErrAborted without yielding again (take
-			// rechecks the abort flag before every yield), so each resume
-			// is answered by that rank's evDone.
+			// Between windows every live rank is parked. Blocked takes
+			// panic ErrAborted without yielding again (take rechecks the
+			// abort flag before every yield), so each resume is answered
+			// by that rank's evDone.
 			for r := range s.states {
 				if s.states[r].done {
 					continue
@@ -148,24 +225,53 @@ func (s *eventScheduler) run(fn RankFunc) []error {
 			<-s.abortCh
 			continue
 		}
-		next := s.pop()
-		if s.states[next.rank].done {
-			continue
-		}
-		s.states[next.rank].resume <- true
-		ev := <-s.events
-		if ev.kind == evDone {
-			s.states[ev.rank].done = true
-			errs[ev.rank] = ev.err
-			live--
-			if ev.err != nil && !errors.Is(ev.err, ErrAborted) {
-				s.w.Abort()
+		// Open a window: resume up to `workers` earliest parked ranks.
+		running := 0
+		for running < s.workers && len(s.ready) > 0 {
+			next := s.pop()
+			st := &s.states[next.rank]
+			if st.done || !st.parked {
+				continue // stale entry
 			}
+			st.parked = false
+			st.resume <- true
+			running++
 		}
-		// evBlocked: the rank registered its awaited key on its mailbox
-		// before yielding; a matching put will push it back onto the heap.
+		// Barrier: exactly one yield event per resumed rank.
+		for i := 0; i < running; i++ {
+			ev := <-s.events
+			if ev.kind == evDone {
+				s.states[ev.rank].done = true
+				errs[ev.rank] = ev.err
+				live--
+				if ev.err != nil && !errors.Is(ev.err, ErrAborted) {
+					s.w.Abort()
+				}
+				continue
+			}
+			// evBlocked: the rank registered its awaited key on its
+			// mailbox before yielding; a matching put re-arms it.
+			s.states[ev.rank].parked = true
+		}
+		s.mergeWakes()
 	}
 	return errs
+}
+
+// mergeWakes moves the wake list into the ready heap. Called only at the
+// window barrier, when no rank runs, so reading a woken rank's clock (its
+// own trace shard) is stable; the lock is still taken because the race
+// detector cannot see the barrier.
+func (s *eventScheduler) mergeWakes() {
+	if s.workers == 1 {
+		return // puts push directly; the wake list is never used
+	}
+	s.wakeMu.Lock()
+	for _, r := range s.wakes {
+		s.push(readyItem{clock: s.w.Trace.Clock(r), rank: r})
+	}
+	s.wakes = s.wakes[:0]
+	s.wakeMu.Unlock()
 }
 
 // rankMain is the body of one rank coroutine: park for the first baton,
@@ -201,10 +307,18 @@ func (s *eventScheduler) yieldBlocked(rank int) bool {
 	return <-s.states[rank].resume
 }
 
-// makeReady pushes a parked rank onto the ready heap at its current logical
-// clock. Called by the sender (the baton holder) when its put matches the
-// key the mailbox owner is awaiting, so access is serialized.
+// makeReady re-arms a parked rank whose awaited key just matched. With
+// workers == 1 the caller is the sole baton holder and pushes straight
+// onto the heap at the rank's current logical clock. With workers > 1 the
+// caller is one of several concurrently running ranks, so the wake goes to
+// the mutex-guarded wake list; the scheduler merges it at the barrier.
 func (s *eventScheduler) makeReady(rank int) {
+	if s.workers > 1 {
+		s.wakeMu.Lock()
+		s.wakes = append(s.wakes, rank)
+		s.wakeMu.Unlock()
+		return
+	}
 	s.push(readyItem{clock: s.w.Trace.Clock(rank), rank: rank})
 }
 

@@ -85,6 +85,13 @@ type Config struct {
 	// Executor picks the scheduling strategy; zero/auto resolves by
 	// payload mode (see ExecAuto).
 	Executor Executor
+	// Workers, for the event executor, is the concurrent-window width:
+	// how many of the earliest ready ranks run simultaneously between
+	// scheduler barriers (DESIGN.md §12). Values < 1 mean 1 — the serial
+	// baton discipline with lock-free mailbox access; values above P are
+	// clamped to P. The report is bit-identical at every width. Ignored
+	// by the goroutine executor, which always runs all ranks live.
+	Workers int
 	// Timeout, when positive, bounds the run's wall-clock time: the
 	// deadline aborts the world (schedule deadlocks fail instead of
 	// hanging) and surfaces as ErrCanceled wrapping
@@ -136,33 +143,51 @@ func Exec(ctx context.Context, cfg Config, fn RankFunc) (*trace.Report, error) {
 	}
 	w.executor = ex
 	if ex == ExecEvents {
-		w.sched = newEventScheduler(w)
+		w.sched = newEventScheduler(w, cfg.Workers)
 	}
+	stopWatcher := func() {}
 	if cancelCh := ctx.Done(); cancelCh != nil {
 		// The watcher holds the world open until the run returns, so a
 		// cancellation arriving at any point wakes the blocked ranks
 		// exactly once and the goroutine never leaks. Runs on a
 		// non-cancelable context skip it, keeping the Go runtime's
 		// all-goroutines-asleep deadlock detector meaningful for them.
+		// The join matters: the watcher reaches the scheduler through
+		// w.sched, which must not be released to the pool under it.
 		done := make(chan struct{})
-		defer close(done)
+		exited := make(chan struct{})
 		go func() {
+			defer close(exited)
 			select {
 			case <-cancelCh:
 				w.Abort()
 			case <-done:
 			}
 		}()
+		stopWatcher = func() {
+			close(done)
+			<-exited
+		}
 	}
 	var errs []error
+	var workers int
 	if ex == ExecEvents {
+		workers = w.sched.workers
 		errs = w.sched.run(fn)
 	} else {
 		errs = runGoroutines(w, fn)
 	}
+	stopWatcher()
+	if s := w.sched; s != nil {
+		// Safe to recycle: run returned (every rank goroutine sent its
+		// evDone) and the watcher has been joined.
+		w.sched = nil
+		s.release()
+	}
 	w.reclaim()
 	rep := w.Trace.Report()
 	rep.Executor = string(ex)
+	rep.Workers = workers
 	runErr := firstRunError(errs)
 	if runErr != nil && ctx.Err() != nil {
 		// The abort unwound the ranks (surfacing as ErrAborted or as

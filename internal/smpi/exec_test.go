@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -94,26 +95,45 @@ func reportsEqual(a, b *trace.Report) error {
 	return nil
 }
 
+// parityWorkerCounts is the concurrent-window sweep the parity suites pin:
+// serial, the small fixed widths, and whatever the host's NumCPU is.
+func parityWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
 // TestExecutorParityWorkload pins the core executor-equivalence claim at the
 // runtime level: byte-identical volume and bit-identical clocks between the
-// goroutine and event executors, in both payload modes, across odd and
-// power-of-two world sizes.
+// goroutine executor and the event executor at every concurrent-window
+// width, in both payload modes, across odd and power-of-two world sizes.
 func TestExecutorParityWorkload(t *testing.T) {
 	for _, p := range []int{1, 2, 3, 4, 5, 6, 8} {
 		for _, payload := range []bool{false, true} {
-			var reps [2]*trace.Report
-			for i, ex := range []Executor{ExecGoroutines, ExecEvents} {
-				rep, err := Exec(context.Background(), Config{P: p, Payload: payload, Executor: ex}, parityWorkload)
-				if err != nil {
-					t.Fatalf("p=%d payload=%v %s: %v", p, payload, ex, err)
-				}
-				if rep.Executor != string(ex) {
-					t.Fatalf("report stamped %q, want %q", rep.Executor, ex)
-				}
-				reps[i] = rep
+			base, err := Exec(context.Background(), Config{P: p, Payload: payload, Executor: ExecGoroutines}, parityWorkload)
+			if err != nil {
+				t.Fatalf("p=%d payload=%v goroutines: %v", p, payload, err)
 			}
-			if err := reportsEqual(reps[0], reps[1]); err != nil {
-				t.Fatalf("p=%d payload=%v: %v", p, payload, err)
+			if base.Executor != string(ExecGoroutines) || base.Workers != 0 {
+				t.Fatalf("goroutine report stamped %q/%d, want %q/0", base.Executor, base.Workers, ExecGoroutines)
+			}
+			for _, workers := range parityWorkerCounts() {
+				rep, err := Exec(context.Background(),
+					Config{P: p, Payload: payload, Executor: ExecEvents, Workers: workers}, parityWorkload)
+				if err != nil {
+					t.Fatalf("p=%d payload=%v events w=%d: %v", p, payload, workers, err)
+				}
+				if rep.Executor != string(ExecEvents) {
+					t.Fatalf("report stamped %q, want %q", rep.Executor, ExecEvents)
+				}
+				if want := min(workers, p); rep.Workers != want {
+					t.Fatalf("p=%d w=%d: report Workers = %d, want %d", p, workers, rep.Workers, want)
+				}
+				if err := reportsEqual(base, rep); err != nil {
+					t.Fatalf("p=%d payload=%v events w=%d: %v", p, payload, workers, err)
+				}
 			}
 		}
 	}
@@ -146,14 +166,30 @@ func TestEventExecutorNumericCorrect(t *testing.T) {
 	}
 }
 
+// abortConfigs enumerates the executor × window-width matrix the abort and
+// cancel reclaim tests cover (Workers is ignored by the goroutine executor).
+func abortConfigs() []Config {
+	return []Config{
+		{Executor: ExecGoroutines},
+		{Executor: ExecEvents},
+		{Executor: ExecEvents, Workers: 4},
+	}
+}
+
+func abortConfigName(cfg Config) string {
+	return fmt.Sprintf("%s/w%d", cfg.Executor, max(cfg.Workers, 1))
+}
+
 // TestAbortReclaimsPooledWireBuffers is the pool-reclaim regression test:
 // when a run aborts with pooled wire buffers still undelivered (numeric
 // SendMat traffic nobody received), the post-run sweep must return them and
-// their queue carcasses to the pools — under both executors.
+// their queue carcasses to the pools — under both executors, serial and
+// concurrent-window.
 func TestAbortReclaimsPooledWireBuffers(t *testing.T) {
-	for _, ex := range []Executor{ExecGoroutines, ExecEvents} {
+	for _, cfg := range abortConfigs() {
 		w := NewWorld(3, true)
-		_, err := Exec(context.Background(), Config{World: w, Executor: ex}, func(c *Comm) error {
+		cfg.World = w
+		_, err := Exec(context.Background(), cfg, func(c *Comm) error {
 			switch c.Rank() {
 			case 0:
 				m := mat.New(4, 4)
@@ -167,18 +203,19 @@ func TestAbortReclaimsPooledWireBuffers(t *testing.T) {
 				return nil
 			}
 		})
+		name := abortConfigName(cfg)
 		if err == nil || errors.Is(err, ErrAborted) {
-			t.Fatalf("%s: want the injected failure, got %v", ex, err)
+			t.Fatalf("%s: want the injected failure, got %v", name, err)
 		}
 		if w.reclaimed.bufs != 2 {
-			t.Fatalf("%s: reclaimed %d pooled buffers, want 2", ex, w.reclaimed.bufs)
+			t.Fatalf("%s: reclaimed %d pooled buffers, want 2", name, w.reclaimed.bufs)
 		}
 		if w.reclaimed.queues == 0 {
-			t.Fatalf("%s: no queue carcasses reclaimed", ex)
+			t.Fatalf("%s: no queue carcasses reclaimed", name)
 		}
 		for r, mb := range w.boxes {
 			if len(mb.q) != 0 {
-				t.Fatalf("%s: rank %d mailbox still holds %d keys after reclaim", ex, r, len(mb.q))
+				t.Fatalf("%s: rank %d mailbox still holds %d keys after reclaim", name, r, len(mb.q))
 			}
 		}
 	}
@@ -186,12 +223,13 @@ func TestAbortReclaimsPooledWireBuffers(t *testing.T) {
 
 // TestCancelReclaimsPools covers the RunContextWorld-style cancellation
 // path: a canceled run must unwind blocked ranks promptly and sweep the
-// stranded pooled payloads, under both executors.
+// stranded pooled payloads, under both executors, serial and concurrent.
 func TestCancelReclaimsPools(t *testing.T) {
-	for _, ex := range []Executor{ExecGoroutines, ExecEvents} {
+	for _, cfg := range abortConfigs() {
 		w := NewWorld(2, true)
+		cfg.World = w
 		ctx, cancel := context.WithCancel(context.Background())
-		_, err := Exec(ctx, Config{World: w, Executor: ex}, func(c *Comm) error {
+		_, err := Exec(ctx, cfg, func(c *Comm) error {
 			if c.Rank() == 0 {
 				m := mat.New(3, 3)
 				c.SendMat(1, 99, m) // never received
@@ -201,16 +239,49 @@ func TestCancelReclaimsPools(t *testing.T) {
 			return nil
 		})
 		cancel()
+		name := abortConfigName(cfg)
 		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
-			t.Fatalf("%s: got %v, want ErrCanceled wrapping context.Canceled", ex, err)
+			t.Fatalf("%s: got %v, want ErrCanceled wrapping context.Canceled", name, err)
 		}
 		if w.reclaimed.bufs != 1 {
-			t.Fatalf("%s: reclaimed %d pooled buffers, want 1", ex, w.reclaimed.bufs)
+			t.Fatalf("%s: reclaimed %d pooled buffers, want 1", name, w.reclaimed.bufs)
 		}
 		for r, mb := range w.boxes {
 			if len(mb.q) != 0 {
-				t.Fatalf("%s: rank %d mailbox still holds %d keys", ex, r, len(mb.q))
+				t.Fatalf("%s: rank %d mailbox still holds %d keys", name, r, len(mb.q))
 			}
+		}
+	}
+}
+
+// TestAbortMidConcurrentWindow interrupts a wide concurrent window with
+// pooled wire buffers in flight from many simultaneously-running senders:
+// ranks 1..P-1 each ship a pooled payload to rank 0 on a tag it never
+// receives and then block; rank 0 fails the world from inside the same
+// window. Every one of the P-1 stranded buffers must come back through the
+// post-run sweep regardless of where in its send/block lifecycle each
+// sender was when the abort landed.
+func TestAbortMidConcurrentWindow(t *testing.T) {
+	const p = 8
+	w := NewWorld(p, true)
+	_, err := Exec(context.Background(), Config{World: w, Executor: ExecEvents, Workers: p}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return fmt.Errorf("injected failure")
+		}
+		m := mat.New(4, 4)
+		c.SendMat(0, 5, m) // tag 5 is never received
+		c.Recv(0, 99)      // blocks until the abort unwinds it
+		return nil
+	})
+	if err == nil || errors.Is(err, ErrAborted) {
+		t.Fatalf("want the injected failure, got %v", err)
+	}
+	if w.reclaimed.bufs != p-1 {
+		t.Fatalf("reclaimed %d pooled buffers, want %d", w.reclaimed.bufs, p-1)
+	}
+	for r, mb := range w.boxes {
+		if len(mb.q) != 0 {
+			t.Fatalf("rank %d mailbox still holds %d keys after reclaim", r, len(mb.q))
 		}
 	}
 }
@@ -260,6 +331,32 @@ func TestEventExecutorDeterminismStress(t *testing.T) {
 		if i > 0 {
 			if err := reportsEqual(reps[0], reps[i]); err != nil {
 				t.Fatalf("trial %d diverged: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestEventExecutorWorkerDeterminismStress replays the identical world at
+// every worker count — serial, the fixed widths, NumCPU, and wider than the
+// world (clamped) — several times each, and requires every report to be
+// bit-identical to the serial one. Under -race this also proves the
+// concurrent window's mailbox locking and wake-list handoffs are sound.
+func TestEventExecutorWorkerDeterminismStress(t *testing.T) {
+	const p = 9
+	base, err := Exec(context.Background(), Config{P: p, Executor: ExecEvents}, parityWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := append(parityWorkerCounts(), 3, p, 2*p)
+	for _, workers := range counts {
+		for trial := 0; trial < 3; trial++ {
+			rep, err := Exec(context.Background(),
+				Config{P: p, Executor: ExecEvents, Workers: workers}, parityWorkload)
+			if err != nil {
+				t.Fatalf("w=%d trial %d: %v", workers, trial, err)
+			}
+			if err := reportsEqual(base, rep); err != nil {
+				t.Fatalf("w=%d trial %d diverged: %v", workers, trial, err)
 			}
 		}
 	}

@@ -52,11 +52,14 @@ type mailbox struct {
 	rank int
 	// Event-executor wait registration: when the owner is parked in the
 	// scheduler awaiting a message, evWaiting is true and evKey names the
-	// stream it awaits; the put that matches evKey pushes the owner back
-	// onto the ready heap. Written by the owner before yielding, read by
-	// the sender after taking the baton — the scheduler's channel handoffs
-	// provide the happens-before edges, so no lock is needed (see
-	// events.go).
+	// stream it awaits; the put that matches evKey re-arms the owner. With
+	// one worker these fields are written by the owner before yielding and
+	// read by the sender after taking the baton — the scheduler's channel
+	// handoffs provide the happens-before edges, so no lock is needed.
+	// With a concurrent window (workers > 1) the owner and its senders can
+	// run simultaneously, so every access goes under mb.mu — the ownership
+	// rule is: one mailbox, one owner rank, and a sender touches nothing
+	// of the owner's but this mailbox (see events.go and DESIGN.md §12).
 	evWaiting bool
 	evKey     msgKey
 }
@@ -98,10 +101,23 @@ func (mb *mailbox) reclaimLocked(k msgKey, q *msgQueue) {
 
 func (mb *mailbox) put(w *World, k msgKey, m Msg) {
 	if s := w.sched; s != nil {
-		// Event mode: the caller holds the baton, so access is exclusive
-		// and lock-free. If the owner is parked awaiting exactly this
-		// stream, re-arm it on the ready heap (once — further deliveries
-		// find evWaiting already cleared).
+		if s.workers > 1 {
+			// Concurrent window: the owner (or another sender in the same
+			// window) may be touching this mailbox right now.
+			mb.mu.Lock()
+			q := mb.queueLocked(k)
+			q.buf = append(q.buf, m)
+			if mb.evWaiting && mb.evKey == k {
+				mb.evWaiting = false
+				s.makeReady(mb.rank)
+			}
+			mb.mu.Unlock()
+			return
+		}
+		// Serial event mode: the caller holds the sole baton, so access is
+		// exclusive and lock-free. If the owner is parked awaiting exactly
+		// this stream, re-arm it on the ready heap (once — further
+		// deliveries find evWaiting already cleared).
 		q := mb.queueLocked(k)
 		q.buf = append(q.buf, m)
 		if mb.evWaiting && mb.evKey == k {
@@ -146,8 +162,14 @@ func (mb *mailbox) take(w *World, k msgKey) Msg {
 // takeEvent is take under the event executor: instead of parking on the
 // condvar, the rank registers the awaited key and yields the baton; the
 // matching put re-arms it. The abort flag is rechecked before every yield
-// so an unwinding world never re-parks a rank.
+// so an unwinding world never re-parks a rank. On the abort paths the
+// just-leased queue is recycled only if it is still empty — a wake can
+// race an abort, and a non-empty queue must stay in the map for the
+// post-run reclaim sweep to return its pooled payloads.
 func (mb *mailbox) takeEvent(w *World, s *eventScheduler, k msgKey) Msg {
+	if s.workers > 1 {
+		return mb.takeEventConcurrent(w, s, k)
+	}
 	q := mb.queueLocked(k)
 	for q.head >= len(q.buf) {
 		if w.aborted.Load() {
@@ -159,11 +181,46 @@ func (mb *mailbox) takeEvent(w *World, s *eventScheduler, k msgKey) Msg {
 		ok := s.yieldBlocked(mb.rank)
 		mb.evWaiting = false
 		if !ok {
-			mb.reclaimLocked(k, q)
+			if q.head >= len(q.buf) {
+				mb.reclaimLocked(k, q)
+			}
 			panic(ErrAborted)
 		}
 	}
 	return mb.popLocked(k, q)
+}
+
+// takeEventConcurrent is takeEvent for a concurrent window: identical
+// protocol, but the wait registration and queue access interleave with
+// same-window senders, so each step holds mb.mu. The yield itself must
+// not: the scheduler may be mid-barrier and a sender of this window could
+// need the lock to complete (and thereby to yield) first.
+func (mb *mailbox) takeEventConcurrent(w *World, s *eventScheduler, k msgKey) Msg {
+	mb.mu.Lock()
+	q := mb.queueLocked(k)
+	for q.head >= len(q.buf) {
+		if w.aborted.Load() {
+			mb.reclaimLocked(k, q)
+			mb.mu.Unlock()
+			panic(ErrAborted)
+		}
+		mb.evWaiting = true
+		mb.evKey = k
+		mb.mu.Unlock()
+		ok := s.yieldBlocked(mb.rank)
+		mb.mu.Lock()
+		mb.evWaiting = false
+		if !ok {
+			if q.head >= len(q.buf) {
+				mb.reclaimLocked(k, q)
+			}
+			mb.mu.Unlock()
+			panic(ErrAborted)
+		}
+	}
+	m := mb.popLocked(k, q)
+	mb.mu.Unlock()
+	return m
 }
 
 // popLocked removes the head message, reclaiming the queue if that drained

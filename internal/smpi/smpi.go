@@ -17,7 +17,7 @@ package smpi
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/mat"
@@ -56,6 +56,19 @@ type World struct {
 	// a non-nil error makes the sending rank panic with it (the runner turns
 	// rank panics into run errors). Used for failure-injection tests.
 	FailSend func(from, to int, bytes int64) error
+
+	// worldMembers is the [0..P) member list every rank's world Comm
+	// shares; worldID is its precomputed communicator hash. Before they
+	// were shared, each of the P ranks built its own P-element copy —
+	// O(P²) memory held for the whole run, the dominant per-rank cost at
+	// beyond-paper scales.
+	worldMembers []int
+	worldID      uint64
+
+	// interned shares large Sub member lists across ranks, keyed by
+	// communicator ID (see internMembers). Guarded by commMu.
+	commMu   sync.Mutex
+	interned map[uint64][]int
 }
 
 // NewWorld creates a world with p ranks under the default α-β machine.
@@ -79,6 +92,11 @@ func NewWorldMachine(p int, payload bool, m trace.Machine) *World {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox(i)
 	}
+	w.worldMembers = make([]int, p)
+	for i := range w.worldMembers {
+		w.worldMembers[i] = i
+	}
+	w.worldID = commID("world", w.worldMembers)
 	return w
 }
 
@@ -151,21 +169,45 @@ type Comm struct {
 	opseq   int // collective sequence number, salts internal tags
 }
 
-// WorldComm returns rank r's handle on the all-ranks communicator.
+// WorldComm returns rank r's handle on the all-ranks communicator. All
+// ranks share the world's one member list and precomputed ID; Comm never
+// mutates its members, so sharing is safe.
 func WorldComm(w *World, r int) *Comm {
-	members := make([]int, w.P)
-	for i := range members {
-		members[i] = i
-	}
 	ph := "init"
-	return &Comm{w: w, id: commID("world", members), members: members, me: r, phase: &ph}
+	return &Comm{w: w, id: w.worldID, members: w.worldMembers, me: r, phase: &ph}
 }
 
+// commID hashes a communicator's identity (name + member list) with FNV-64a
+// over the raw bytes. The value is purely internal message-routing salt —
+// it never appears in reports — but it must be a deterministic function of
+// (name, members) so every member rank derives the same stream keys.
 func commID(name string, members []int) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s:%v", name, members)
-	return h.Sum64()
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator: ("ab", [1]) must not collide with ("a", [0x62...])
+	h *= prime64
+	for _, m := range members {
+		v := uint64(m)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }
+
+// internMembersMin is the member-count threshold above which Sub shares one
+// copy of the member list across all ranks of the communicator. Big
+// communicators (the world-sized "active" comm every engine builds) would
+// otherwise cost O(P²) memory — one P-element copy per rank. Small lists
+// (row/column/per-tile comms, O(√P) members) stay private: they are cheap,
+// and per-tile communicator names are transient, so interning them would
+// grow the world's intern table with entries nobody reuses.
+const internMembersMin = 256
 
 // Sub derives a named communicator from the given member list (world ranks,
 // order defines sub-ranks). The calling rank must be a member. Creation is
@@ -181,13 +223,35 @@ func (c *Comm) Sub(name string, worldRanks []int) *Comm {
 	if me < 0 {
 		panic(fmt.Sprintf("smpi: rank %d not in sub-communicator %q %v", c.WorldRank(), name, worldRanks))
 	}
+	id := commID(name, worldRanks)
 	return &Comm{
 		w:       c.w,
-		id:      commID(name, worldRanks),
-		members: append([]int(nil), worldRanks...),
+		id:      id,
+		members: c.w.internMembers(id, worldRanks),
 		me:      me,
 		phase:   c.phase,
 	}
+}
+
+// internMembers returns the member slice to store on a new Comm: an
+// immutable shared copy for large lists (deduplicated across ranks by
+// communicator ID), a private copy otherwise. Never aliases the caller's
+// slice — grid helpers rebuild theirs per call.
+func (w *World) internMembers(id uint64, worldRanks []int) []int {
+	if len(worldRanks) < internMembersMin {
+		return append([]int(nil), worldRanks...)
+	}
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
+	if m, ok := w.interned[id]; ok && len(m) == len(worldRanks) {
+		return m
+	}
+	m := append([]int(nil), worldRanks...)
+	if w.interned == nil {
+		w.interned = make(map[uint64][]int)
+	}
+	w.interned[id] = m
+	return m
 }
 
 // Rank returns this rank's index within the communicator.

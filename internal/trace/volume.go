@@ -36,6 +36,11 @@ type Report struct {
 	// executors produce byte-identical volume and bit-identical clocks,
 	// so the field is provenance, not a caveat.
 	Executor string
+	// Workers is the event executor's concurrent-window width for this
+	// run (1 = the serial baton schedule); 0 under the goroutine
+	// executor, where every rank is always live. Provenance like
+	// Executor: the report is bit-identical at every width.
+	Workers int
 }
 
 // TotalMsgs is the aggregate message count.

@@ -77,6 +77,7 @@ type sessionConfig struct {
 	nb           int
 	timeout      time.Duration
 	executor     smpi.Executor // "" = auto
+	workers      int           // 0 = 1: serial event schedule
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -214,6 +215,24 @@ func WithExecutor(name string) Option {
 	}
 }
 
+// WithWorkers sets the event executor's concurrent-window width: up to n
+// of the ready ranks with the earliest logical clocks execute
+// simultaneously between scheduler barriers (DESIGN.md §12). The default
+// (n = 1) is the serial baton schedule; n = runtime.NumCPU() spreads a
+// single world across the host's cores. Reports are bit-identical at
+// every width — the knob trades scheduler overhead against parallelism
+// and changes nothing observable. Widths above the world size are
+// clamped; the goroutine executor ignores the setting.
+func WithWorkers(n int) Option {
+	return func(c *sessionConfig) error {
+		if n < 1 {
+			return fmt.Errorf("conflux: WithWorkers requires n >= 1, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
 // WithTimeout sets the safety-net bound on every simulation the session
 // runs, applied on top of whatever deadline the per-call context carries —
 // it exists so a schedule bug surfaces as ErrCanceled instead of a
@@ -298,6 +317,7 @@ func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.Rank
 		Machine:    s.cfg.machine,
 		MachineSet: true,
 		Executor:   s.cfg.executor,
+		Workers:    s.cfg.workers,
 	}, fn)
 	if err != nil {
 		return nil, publicErr(err)
