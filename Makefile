@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full vet fmt-check apicheck bench-smoke bench-json conformance cover ci
+.PHONY: all build test test-full vet fmt-check apicheck bench-smoke bench-json conformance cover loadtest ci
 
 all: ci
 
@@ -81,5 +81,14 @@ bench-json:
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_scale.json
 	$(GO) run ./cmd/confluxbench -exp sched -scale small -json BENCH_sched.json
 	$(GO) run ./cmd/benchdiff BENCH_events.json BENCH_sched.json
+
+# Planner-service load gate: ~50 concurrent clients hammer one plan point
+# through confluxd's full HTTP stack; the deterministic result cache must
+# collapse the burst to exactly one simulation (asserted via /v1/stats),
+# every client must get 200 with the same exact answer, and no goroutines
+# may leak after the burst. Runs under the race detector. See DESIGN.md
+# §13.
+loadtest:
+	$(GO) test -race -count=1 -run 'TestConfluxdLoad' -v ./cmd/confluxd
 
 ci: fmt-check apicheck build test

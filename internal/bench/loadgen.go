@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadReport summarizes one closed-loop load run: how many requests
+// completed, how many errored, and the latency distribution observed by
+// the clients. Latencies are wall-clock per call, including any queueing
+// inside the system under test.
+type LoadReport struct {
+	Clients   int
+	Requests  int
+	Errors    int
+	Elapsed   time.Duration
+	MinLat    time.Duration
+	MaxLat    time.Duration
+	MeanLat   time.Duration
+	P50Lat    time.Duration
+	P99Lat    time.Duration
+	FirstErr  error
+	QPS       float64
+	latencies []time.Duration
+}
+
+// RunLoad drives fn from clients concurrent workers until total calls have
+// completed, closed-loop (each worker issues its next call as soon as the
+// previous returns). fn receives the global call index. Errors are counted
+// but do not stop the run — a load test wants the full burst to land so
+// shedding behavior is observable — except for context cancellation, which
+// stops all workers promptly. The report aggregates client-observed
+// latencies; confluxd's CI load test drives ~50 clients at one plan point
+// through this and then asserts on the server's cache stats.
+func RunLoad(ctx context.Context, clients, total int, fn func(ctx context.Context, i int) error) LoadReport {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > total {
+		clients = total
+	}
+	rep := LoadReport{Clients: clients, latencies: make([]time.Duration, 0, total)}
+	if total <= 0 {
+		return rep
+	}
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= total {
+					return
+				}
+				t0 := time.Now()
+				err := fn(ctx, i)
+				lat := time.Since(t0)
+				mu.Lock()
+				rep.Requests++
+				rep.latencies = append(rep.latencies, lat)
+				if err != nil {
+					rep.Errors++
+					if rep.FirstErr == nil {
+						rep.FirstErr = err
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	rep.finish()
+	return rep
+}
+
+// finish computes the latency summary from the raw samples.
+func (r *LoadReport) finish() {
+	if len(r.latencies) == 0 {
+		return
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	r.MinLat = r.latencies[0]
+	r.MaxLat = r.latencies[len(r.latencies)-1]
+	var sum time.Duration
+	for _, l := range r.latencies {
+		sum += l
+	}
+	r.MeanLat = sum / time.Duration(len(r.latencies))
+	r.P50Lat = r.latencies[len(r.latencies)*50/100]
+	idx99 := len(r.latencies) * 99 / 100
+	if idx99 >= len(r.latencies) {
+		idx99 = len(r.latencies) - 1
+	}
+	r.P99Lat = r.latencies[idx99]
+	if s := r.Elapsed.Seconds(); s > 0 {
+		r.QPS = float64(r.Requests) / s
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunLoadCompletesAll: every call index in [0, total) is issued exactly
+// once across the worker pool, and the report's counts reconcile.
+func TestRunLoadCompletesAll(t *testing.T) {
+	const total = 200
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	rep := RunLoad(t.Context(), 8, total, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if rep.Requests != total || rep.Errors != 0 {
+		t.Fatalf("report %+v: want %d requests, 0 errors", rep, total)
+	}
+	if len(seen) != total {
+		t.Fatalf("%d distinct indices issued, want %d", len(seen), total)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d issued %d times", i, n)
+		}
+	}
+	if rep.MeanLat < 0 || rep.P99Lat < rep.P50Lat || rep.MaxLat < rep.MinLat {
+		t.Fatalf("latency summary inconsistent: %+v", rep)
+	}
+}
+
+// TestRunLoadCountsErrorsWithoutStopping: failures are tallied (first one
+// retained) but the burst still completes — shedding under overload must
+// remain observable for the whole run.
+func TestRunLoadCountsErrorsWithoutStopping(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	rep := RunLoad(t.Context(), 4, 100, func(_ context.Context, i int) error {
+		calls.Add(1)
+		if i%3 == 0 {
+			return boom
+		}
+		return nil
+	})
+	if got := calls.Load(); got != 100 {
+		t.Fatalf("run stopped early: %d calls", got)
+	}
+	if rep.Errors != 34 { // i = 0, 3, ..., 99
+		t.Fatalf("errors = %d, want 34", rep.Errors)
+	}
+	if !errors.Is(rep.FirstErr, boom) {
+		t.Fatalf("FirstErr = %v", rep.FirstErr)
+	}
+}
+
+// TestRunLoadHonorsCancellation: cancellation stops the workers without
+// waiting for the remaining calls.
+func TestRunLoadHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	var calls atomic.Int64
+	rep := RunLoad(ctx, 2, 10_000, func(ctx context.Context, i int) error {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return ctx.Err()
+	})
+	if rep.Requests >= 10_000 {
+		t.Fatalf("cancellation ignored: %d requests completed", rep.Requests)
+	}
+}
+
+// TestRunLoadClampsClients: more clients than work degrades gracefully.
+func TestRunLoadClampsClients(t *testing.T) {
+	rep := RunLoad(t.Context(), 64, 3, func(context.Context, int) error { return nil })
+	if rep.Clients != 3 || rep.Requests != 3 {
+		t.Fatalf("report %+v: want 3 clients, 3 requests", rep)
+	}
+	if rep := RunLoad(t.Context(), 0, 0, nil); rep.Requests != 0 {
+		t.Fatalf("empty run issued %d requests", rep.Requests)
+	}
+}

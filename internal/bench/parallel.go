@@ -53,6 +53,12 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	workers := workerCount(n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			// Honor cancellation between jobs exactly like the parallel
+			// path's workers do, so a canceled context stops a sweep at
+			// the same points whatever the worker count.
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
 			if err := fn(ctx, i); err != nil {
 				return err
 			}

@@ -39,6 +39,35 @@ func PredictedTime(a Algorithm, p Params, m Machine, perRankMsgs float64) float6
 	return m.Time(PerRankBytes(a, p), perRankMsgs)
 }
 
+// ApproxPerRankMsgs is the closed-form message-count estimate for the
+// latency term of PredictedTime when no measured count is available (the
+// planner service's instant model tier). §7.3 gives asymptotics only: the
+// partial-pivoting 2D codes (LibSci, SLATE) inject O(N) messages — one
+// pivot-exchange round per column — while the tournament-pivoting codes
+// (COnfLUX, CANDMC) batch columns into v-wide panels for O(N/v) rounds.
+// nb > 0 overrides the blocking parameter; otherwise COnfLUX's default
+// v = 2c (floored at 4, internal/conflux.DefaultOptions) is used. The
+// constant factor is 1 — an order-of-magnitude latency estimate, which is
+// all the α term needs at paper-scale β·bytes dominance.
+func ApproxPerRankMsgs(a Algorithm, p Params, nb int) float64 {
+	n := float64(p.N)
+	switch a {
+	case LibSci, SLATE:
+		return n
+	case COnfLUX, CANDMC:
+		v := float64(nb)
+		if v <= 0 {
+			v = 2 * p.Replication()
+			if v < 4 {
+				v = 4
+			}
+		}
+		return math.Ceil(n / v)
+	default:
+		panic("costmodel: unknown algorithm " + string(a))
+	}
+}
+
 // MaxMemoryParams returns the paper's evaluation setting: "enough memory
 // M ≥ N²/P^{2/3} was present to allow the maximum number of replications
 // c = P^{1/3}" (Fig. 6 caption).

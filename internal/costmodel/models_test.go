@@ -181,3 +181,29 @@ func TestQuickTotalBytesConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestApproxPerRankMsgs pins the §7.3 asymptotics behind the planner's
+// instant model tier: partial pivoting pays O(N) latency rounds,
+// tournament pivoting O(N/v), and an explicit block size overrides v.
+func TestApproxPerRankMsgs(t *testing.T) {
+	p := MaxMemoryParams(16384, 1024)
+	for _, a := range []Algorithm{LibSci, SLATE} {
+		if got := ApproxPerRankMsgs(a, p, 0); got != float64(p.N) {
+			t.Fatalf("%s: %v msgs, want N=%d", a, got, p.N)
+		}
+	}
+	for _, a := range []Algorithm{COnfLUX, CANDMC} {
+		got := ApproxPerRankMsgs(a, p, 0)
+		if got <= 0 || got >= float64(p.N) {
+			t.Fatalf("%s: %v msgs, want within (0, N)", a, got)
+		}
+		// v = 2c floored at 4; at max replication c = P^(1/3) = ~10.08.
+		v := 2 * p.Replication()
+		if want := math.Ceil(float64(p.N) / v); got != want {
+			t.Fatalf("%s: %v msgs, want %v", a, got, want)
+		}
+	}
+	if got, want := ApproxPerRankMsgs(COnfLUX, p, 128), math.Ceil(float64(p.N)/128); got != want {
+		t.Fatalf("explicit nb: %v msgs, want %v", got, want)
+	}
+}

@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount is the number of independent cache shards; keys hash across
+// them so concurrent distinct requests rarely contend on one mutex. Power
+// of two, sized for tens of thousands of entries.
+const shardCount = 64
+
+// entry is one cache slot. done is closed exactly once, after which val/err
+// are immutable; an entry whose done is still open is an in-flight
+// singleflight computation that later arrivals join instead of recomputing.
+type entry struct {
+	done chan struct{}
+	val  *Exact
+	err  error
+}
+
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cache is a sharded in-memory result cache with singleflight semantics:
+// for each key, at most one computation is ever in flight, and every
+// concurrent requester for that key shares its outcome. Successful results
+// are cached forever (they are pure functions of the key); failures are
+// never cached, so transient errors (cancellation, shedding) retry on the
+// next request.
+//
+// Capacity is bounded by maxEntries; above it, completed entries are
+// evicted arbitrarily (map order) to make room. Arbitrary replacement is
+// deliberate: recomputation is cheap relative to serving-tier latency
+// budgets and the expected workload is heavily skewed, so anything smarter
+// buys little for the bookkeeping it costs.
+type Cache struct {
+	shards    [shardCount]cacheShard
+	maxPerSh  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	joined    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// NewCache returns a cache bounded to roughly maxEntries completed results
+// (0 selects the 64k default).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	perShard := (maxEntries + shardCount - 1) / shardCount
+	c := &Cache{maxPerSh: perShard}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+	}
+	return c
+}
+
+// fnv64a, inlined to keep key hashing allocation-free.
+func shardFor(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h % shardCount
+}
+
+// begin is the singleflight entry point: it returns the entry for key and
+// whether the caller is its owner. Owners must eventually call complete or
+// abandon exactly once; non-owners wait on e.done. The three outcomes are
+// counted as hit (completed entry), joined (in-flight entry), or miss (new
+// entry, caller owns the computation).
+func (c *Cache) begin(key string) (e *entry, owner bool) {
+	sh := &c.shards[shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[key]; ok {
+		if e.completed() {
+			c.hits.Add(1)
+		} else {
+			c.joined.Add(1)
+		}
+		return e, false
+	}
+	c.misses.Add(1)
+	if len(sh.m) >= c.maxPerSh {
+		for k, old := range sh.m {
+			if old.completed() {
+				delete(sh.m, k)
+				c.evictions.Add(1)
+				break
+			}
+		}
+	}
+	e = &entry{done: make(chan struct{})}
+	sh.m[key] = e
+	return e, true
+}
+
+// complete publishes the owner's result and wakes every joiner. Failed
+// computations are published to the current joiners but removed from the
+// map, so the next arrival retries instead of being pinned to a stale
+// error. The removal happens before done is closed: otherwise a begin
+// racing between the close and the delete would observe a completed
+// error entry as a cache hit.
+func (c *Cache) complete(key string, e *entry, val *Exact, err error) {
+	if err != nil {
+		sh := &c.shards[shardFor(key)]
+		sh.mu.Lock()
+		if sh.m[key] == e {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}
+	e.val, e.err = val, err
+	close(e.done)
+}
+
+// Peek returns the completed cached value for key, if any, without joining
+// an in-flight computation.
+func (c *Cache) Peek(key string) (*Exact, bool) {
+	sh := &c.shards[shardFor(key)]
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	sh.mu.Unlock()
+	if !ok || !e.completed() || e.err != nil {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Len returns the number of resident entries (completed and in-flight).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Joined    int64 `json:"joined"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Joined:    c.joined.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}

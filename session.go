@@ -3,6 +3,7 @@ package conflux
 import (
 	"context"
 	"fmt"
+	"maps"
 	"sync"
 	"time"
 
@@ -60,8 +61,16 @@ type SessionStats struct {
 	// most recent completed run. Under the default "auto" selection it
 	// varies by job kind — numeric jobs (Factorize, Solve) run on
 	// goroutines, volume replays on the event loop — so it reports what
-	// actually ran, not the configured choice.
+	// actually ran, not the configured choice. Under concurrent
+	// mixed-executor use "most recent" means completion order (the field
+	// is last-writer-wins, though always a value some run actually
+	// resolved to); RunsByExecutor is the order-independent view.
 	Executor string
+	// RunsByExecutor counts completed runs per resolved executor. Unlike
+	// Executor it is stable under concurrent mixed-executor runs: the
+	// per-executor counts always sum to Runs, whatever order the runs
+	// completed in.
+	RunsByExecutor map[string]int
 }
 
 // sessionConfig is the resolved, immutable configuration of a Session.
@@ -103,16 +112,17 @@ func WithRanks(p int) Option {
 	}
 }
 
-// WithMemory sets the per-rank fast memory M in elements. The default
-// (m <= 0) is the paper's maximum-replication setting M = N²/P^(2/3),
-// resolved per job from its matrix dimension.
+// WithMemory sets the per-rank fast memory M in elements. WithMemory(0)
+// selects the paper's maximum-replication default M = N²/P^(2/3), resolved
+// per job from its matrix dimension; a negative m is rejected like every
+// other out-of-range option value (it used to be silently coerced to the
+// default, hiding sign bugs in callers).
 func WithMemory(m float64) Option {
 	return func(c *sessionConfig) error {
-		if m > 0 {
-			c.memory = m
-		} else {
-			c.memory = 0
+		if m < 0 {
+			return fmt.Errorf("conflux: WithMemory requires m >= 0 (0 selects the paper default), got %v", m)
 		}
+		c.memory = m
 		return nil
 	}
 }
@@ -285,11 +295,87 @@ func (s *Session) Ranks() int { return s.cfg.ranks }
 func (s *Session) Machine() Machine { return s.cfg.machine }
 
 // Stats returns the accumulated trace totals of every simulation this
-// session has completed so far.
+// session has completed so far. The returned value is a snapshot: the
+// RunsByExecutor map is copied, so it never aliases the session's live
+// accounting.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.RunsByExecutor = maps.Clone(s.stats.RunsByExecutor)
+	return st
+}
+
+// Config is the resolved, immutable configuration of a Session — the full
+// canonical parameter tuple. Every simulation output (volume, simulated
+// time, factors) is a pure function of the tuple's first nine fields; the
+// last three (Timeout, Executor, Workers) are pinned by the parity suites
+// to change nothing observable, which is what makes results cacheable by
+// key: internal/plan derives its deterministic cache keys from exactly
+// this struct, and its key-completeness test reflects over it, so adding a
+// field here without classifying it as key-relevant or key-irrelevant is a
+// build-gate failure, not a silent cache-aliasing bug.
+type Config struct {
+	// Ranks is the simulated world size P.
+	Ranks int
+	// Memory is the per-rank fast memory in elements; 0 means the paper's
+	// maximum-replication default M = N²/P^(2/3), resolved per job from
+	// its matrix dimension.
+	Memory float64
+	// Algorithm names the engine the session dispatches to.
+	Algorithm Algorithm
+	// Machine is the α-β machine the simulated clocks advance with,
+	// already resolved (DefaultMachine when no option set it; the zero
+	// value here really is the all-free machine).
+	Machine Machine
+	// SolveRanks is the distributed triangular solve's rank count,
+	// resolved (it defaults to Ranks at construction).
+	SolveRanks int
+	// RHS is the right-hand-side count of volume-mode solve replays.
+	RHS int
+	// RefineSweeps bounds the iterative-refinement loop.
+	RefineSweeps int
+	// BlockSize is the user-specified blocking parameter; 0 means the
+	// engine default (deterministic given Algorithm and the tuple above).
+	BlockSize int
+	// Timeout is the session safety timeout. It bounds wall-clock
+	// execution only and cannot change a completed run's outputs.
+	Timeout time.Duration
+	// Executor is the configured scheduling strategy ("auto",
+	// "goroutines", or "events"). Reports are pinned byte/bit-identical
+	// across executors (DESIGN.md §11), so it must never enter a result
+	// cache key.
+	Executor string
+	// Workers is the event executor's concurrent-window width (resolved;
+	// minimum 1). Reports are bit-identical at every width (DESIGN.md
+	// §12), so like Executor it is cache-key-irrelevant.
+	Workers int
+}
+
+// Config returns the session's resolved configuration — the canonical
+// parameter tuple its simulations are a pure function of.
+func (s *Session) Config() Config {
+	workers := s.cfg.workers
+	if workers < 1 {
+		workers = 1
+	}
+	exec := string(s.cfg.executor)
+	if exec == "" {
+		exec = string(smpi.ExecAuto)
+	}
+	return Config{
+		Ranks:        s.cfg.ranks,
+		Memory:       s.cfg.memory,
+		Algorithm:    s.cfg.algorithm,
+		Machine:      s.cfg.machine,
+		SolveRanks:   s.cfg.solveRanks,
+		RHS:          s.cfg.rhs,
+		RefineSweeps: s.cfg.refineSweeps,
+		BlockSize:    s.cfg.nb,
+		Timeout:      s.cfg.timeout,
+		Executor:     exec,
+		Workers:      workers,
+	}
 }
 
 // engineConfig is the per-run engine configuration derived from the
@@ -327,6 +413,10 @@ func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.Rank
 	s.stats.Bytes += rep.TotalBytes()
 	s.stats.SimTime += rep.Time.Makespan
 	s.stats.Executor = rep.Executor
+	if s.stats.RunsByExecutor == nil {
+		s.stats.RunsByExecutor = make(map[string]int, 2)
+	}
+	s.stats.RunsByExecutor[rep.Executor]++
 	s.mu.Unlock()
 	return rep, nil
 }

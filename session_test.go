@@ -337,3 +337,114 @@ func TestFactorizeWithCholeskyEngineRejected(t *testing.T) {
 		t.Fatal("Factorize with the Cholesky engine must error (use FactorizeSPD)")
 	}
 }
+
+// TestWithMemoryValidation: WithMemory(0) keeps meaning "paper default",
+// but a negative m is rejected like every other out-of-range option value
+// instead of being silently coerced to the default.
+func TestWithMemoryValidation(t *testing.T) {
+	if _, err := New(WithMemory(-1)); err == nil {
+		t.Fatal("WithMemory(-1): invalid option accepted")
+	}
+	s, err := New(WithMemory(0))
+	if err != nil {
+		t.Fatalf("WithMemory(0): %v", err)
+	}
+	if got := s.Config().Memory; got != 0 {
+		t.Fatalf("WithMemory(0) resolved to %v, want 0 (paper default)", got)
+	}
+	s, err = New(WithMemory(4096))
+	if err != nil {
+		t.Fatalf("WithMemory(4096): %v", err)
+	}
+	if got := s.Config().Memory; got != 4096 {
+		t.Fatalf("WithMemory(4096) resolved to %v", got)
+	}
+}
+
+// TestSessionConfigResolved: Config() reports the canonical tuple with the
+// construction-time defaults already applied.
+func TestSessionConfigResolved(t *testing.T) {
+	s, err := New(WithRanks(9), WithAlgorithm(SLATE), WithRHS(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Ranks != 9 || cfg.Algorithm != SLATE || cfg.RHS != 3 {
+		t.Fatalf("Config() = %+v lost explicit options", cfg)
+	}
+	if cfg.SolveRanks != 9 {
+		t.Fatalf("Config().SolveRanks = %d, want resolved default 9", cfg.SolveRanks)
+	}
+	if cfg.Machine != DefaultMachine() {
+		t.Fatalf("Config().Machine = %+v, want resolved DefaultMachine", cfg.Machine)
+	}
+	if cfg.Executor != "auto" || cfg.Workers != 1 {
+		t.Fatalf("Config() executor/workers = %q/%d, want auto/1", cfg.Executor, cfg.Workers)
+	}
+	free, err := New(WithFreeMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.Config().Machine.IsZero() {
+		t.Fatalf("Config().Machine = %+v after WithFreeMachine, want zero", free.Config().Machine)
+	}
+}
+
+// TestSessionStatsRunsByExecutor pins the concurrent mixed-executor
+// accounting: under auto selection a session runs numeric jobs on
+// goroutines and volume replays on the event loop concurrently, and while
+// SessionStats.Executor is documented last-completed-writer-wins, the
+// RunsByExecutor counts must be exact and sum to Runs.
+func TestSessionStatsRunsByExecutor(t *testing.T) {
+	s, err := New(WithRanks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	a := mat.Random(24, 24, 7)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Factorize(context.Background(), a) // auto -> goroutines
+			errs <- err
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.CommVolume(context.Background(), 24) // auto -> events
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Runs != 2*k {
+		t.Fatalf("Runs = %d, want %d", st.Runs, 2*k)
+	}
+	if st.RunsByExecutor["goroutines"] != k || st.RunsByExecutor["events"] != k {
+		t.Fatalf("RunsByExecutor = %v, want %d each", st.RunsByExecutor, k)
+	}
+	sum := 0
+	for _, c := range st.RunsByExecutor {
+		sum += c
+	}
+	if sum != st.Runs {
+		t.Fatalf("RunsByExecutor sums to %d, Runs = %d", sum, st.Runs)
+	}
+	if st.RunsByExecutor[st.Executor] == 0 {
+		t.Fatalf("Executor = %q not present in RunsByExecutor %v", st.Executor, st.RunsByExecutor)
+	}
+	// The snapshot must not alias the live accounting.
+	st.RunsByExecutor["goroutines"] = -1
+	if s.Stats().RunsByExecutor["goroutines"] != k {
+		t.Fatal("Stats() returned an aliased RunsByExecutor map")
+	}
+}
