@@ -75,12 +75,20 @@ bench-smoke:
 #    presets nest, so the small-scale rows overlap the record's.
 #    Regenerate the record itself with
 #    `confluxbench -exp sched -scale paper -json BENCH_events.json`.
+#  - BENCH_topo_run.json: the topology sweep (replication depth × network
+#    model, DESIGN.md §14), compared against the committed small-scale
+#    record BENCH_topo.json. Every number in it is simulated, so benchdiff
+#    compares exactly and -exit makes any drift a hard failure — this is a
+#    determinism gate, not a perf gate. Regenerate the record with
+#    `confluxbench -exp topology -scale small -json BENCH_topo.json`.
 bench-json:
 	$(GO) run ./cmd/confluxbench -exp smoke -json BENCH_smoke.json
 	$(GO) run ./cmd/confluxbench -exp perf -scale small -json BENCH_scale.json
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_scale.json
 	$(GO) run ./cmd/confluxbench -exp sched -scale small -json BENCH_sched.json
 	$(GO) run ./cmd/benchdiff BENCH_events.json BENCH_sched.json
+	$(GO) run ./cmd/confluxbench -exp topology -scale small -json BENCH_topo_run.json
+	$(GO) run ./cmd/benchdiff -exit BENCH_topo.json BENCH_topo_run.json
 
 # Planner-service load gate: ~50 concurrent clients hammer one plan point
 # through confluxd's full HTTP stack; the deterministic result cache must

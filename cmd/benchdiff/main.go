@@ -6,6 +6,11 @@
 // but the exit status stays 0 unless -exit is set, so a noisy CI runner
 // cannot hard-fail the build on timing jitter.
 //
+// Records with "kind": "topology" (`confluxbench -exp topology -json`) are
+// compared exactly instead: every number in them is simulated, so two runs
+// of the same sweep must agree bit for bit, and any drift on a shared row
+// is a determinism regression regardless of threshold.
+//
 // Usage:
 //
 //	benchdiff [-threshold 10] [-exit] OLD.json NEW.json
@@ -24,17 +29,79 @@ import (
 	"repro/internal/bench"
 )
 
-func load(path string) (*bench.PerfReport, error) {
-	fh, err := os.Open(path)
+// record is one loaded file: exactly one of perf/topo is set, dispatched
+// on the "kind" field ("" = a perf record, which predates the field).
+type record struct {
+	perf *bench.PerfReport
+	topo *bench.TopoReport
+}
+
+func load(path string) (record, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return record{}, err
 	}
-	defer fh.Close()
+	var kind struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &kind); err != nil {
+		return record{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if kind.Kind == "topology" {
+		var rep bench.TopoReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return record{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return record{topo: &rep}, nil
+	}
 	var rep bench.PerfReport
-	if err := json.NewDecoder(fh).Decode(&rep); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return record{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return &rep, nil
+	return record{perf: &rep}, nil
+}
+
+// diffTopo compares two topology sweeps exactly. Shared rows — same
+// (scenario, engine, c) — must agree on bytes and makespan to the last
+// bit; the recorded optima must match wherever both sweeps cover the
+// scenario. Returns (drifted rows, shared rows).
+func diffTopo(oldRep, newRep *bench.TopoReport) (int, int) {
+	type rowKey struct {
+		scenario string
+		algo     string
+		c        int
+	}
+	oldRows := map[rowKey]bench.TopoRow{}
+	for _, r := range oldRep.Rows {
+		oldRows[rowKey{r.Scenario, string(r.Algo), r.C}] = r
+	}
+	fmt.Printf("%-22s %-8s %-3s %14s %14s\n", "scenario", "engine", "c", "bytes", "makespan")
+	drift, compared := 0, 0
+	for _, r := range newRep.Rows {
+		o, ok := oldRows[rowKey{r.Scenario, string(r.Algo), r.C}]
+		if !ok {
+			continue
+		}
+		compared++
+		mark := ""
+		if o.Bytes != r.Bytes || o.Makespan != r.Makespan {
+			mark = fmt.Sprintf("  <<< REGRESSION: determinism (was %d bytes, %.17gs)", o.Bytes, o.Makespan)
+			drift++
+		}
+		fmt.Printf("%-22s %-8s %-3d %14d %14.6e%s\n", r.Scenario, r.Algo, r.C, r.Bytes, r.Makespan, mark)
+	}
+	for name, o := range oldRep.Optima {
+		n, ok := newRep.Optima[name]
+		if !ok {
+			continue
+		}
+		if o != n {
+			fmt.Printf("optimum %-22s moved: %s c=%d -> %s c=%d  <<< REGRESSION: optimum\n",
+				name, o.Algo, o.C, n.Algo, n.C)
+			drift++
+		}
+	}
+	return drift, compared
 }
 
 func pct(old, new int64) float64 {
@@ -53,16 +120,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-exit] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRep, err := load(flag.Arg(0))
+	oldRec, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	newRep, err := load(flag.Arg(1))
+	newRec, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if oldRec.topo != nil || newRec.topo != nil {
+		if oldRec.topo == nil || newRec.topo == nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: cannot compare a topology record with a perf record")
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff %s (%s) -> %s (%s), topology records: exact comparison\n",
+			flag.Arg(0), oldRec.topo.Scale, flag.Arg(1), newRec.topo.Scale)
+		drift, compared := diffTopo(oldRec.topo, newRec.topo)
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: the two records share no cases")
+			os.Exit(2)
+		}
+		if drift > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchdiff: %d topology row(s) drifted — simulated results are deterministic, so this is a real change\n", drift)
+			if *hardExit {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	oldRep, newRep := oldRec.perf, newRec.perf
 	oldByName := map[string]bench.PerfMeasurement{}
 	for _, m := range oldRep.Results {
 		oldByName[m.Name] = m

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	conflux "repro"
@@ -47,6 +48,35 @@ type server struct {
 	cfg   serverConfig
 	pl    *plan.Planner
 	start time.Time
+
+	// mu guards topoCount: per-preset counts of plan requests that named
+	// a topology, surfaced in /v1/stats. Keyed by the preset name as
+	// requested ("hier-contended", not the resolved family), lazily
+	// allocated so zero-value servers in tests work.
+	mu        sync.Mutex
+	topoCount map[string]int64
+}
+
+func (s *server) countTopology(preset string) {
+	s.mu.Lock()
+	if s.topoCount == nil {
+		s.topoCount = make(map[string]int64)
+	}
+	s.topoCount[preset]++
+	s.mu.Unlock()
+}
+
+func (s *server) topologyCounts() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.topoCount) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.topoCount))
+	for k, v := range s.topoCount {
+		out[k] = v
+	}
+	return out
 }
 
 func newServer(ctx context.Context, cfg serverConfig) *server {
@@ -193,6 +223,15 @@ func (s *server) parseParams(r *http.Request) (plan.Request, []conflux.Algorithm
 	if err != nil || refine < 0 {
 		return bad("parameter refine must be a non-negative integer")
 	}
+	var topology conflux.Topology
+	if preset := q.Get("topology"); preset != "" {
+		spec, err := conflux.TopologyPreset(preset)
+		if err != nil {
+			return bad("unknown topology preset %q (presets: %v)", preset, conflux.TopologyPresets())
+		}
+		topology = spec
+		s.countTopology(preset)
+	}
 	job := plan.Job(q.Get("job"))
 	if !job.Valid() {
 		return bad("parameter job must be %q or %q", plan.JobVolume, plan.JobSolve)
@@ -234,7 +273,8 @@ func (s *server) parseParams(r *http.Request) (plan.Request, []conflux.Algorithm
 		N: n, P: p, Memory: memory, NB: nb,
 		Alpha: alpha, Beta: beta,
 		SolveRanks: solveRanks, RHS: rhs, RefineSweeps: refine,
-		Job: job,
+		Topology: topology,
+		Job:      job,
 	}
 	return req, algos, objective, wait, nil
 }
@@ -333,13 +373,17 @@ func (s *server) pickBest(resp *planResponse) {
 // asserts singleflight on.
 type statsResponse struct {
 	plan.Stats
-	UptimeSeconds float64 `json:"uptime_s"`
+	// Topologies counts plan requests per named topology preset (absent
+	// until the first topology-carrying request).
+	Topologies    map[string]int64 `json:"topologies,omitempty"`
+	UptimeSeconds float64          `json:"uptime_s"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsResponse{
 		Stats:         s.pl.Stats(),
+		Topologies:    s.topologyCounts(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }

@@ -72,6 +72,7 @@ func TestPlanParamValidation(t *testing.T) {
 		"unknown algo":     "n=64&p=4&algo=GaussianElimination",
 		"oversized rhs":    "n=64&p=4&rhs=9999",
 		"negative refine":  "n=64&p=4&refine=-1",
+		"unknown topology": "n=64&p=4&topology=torus",
 		"solve_ranks gt p": fmt.Sprintf("n=64&p=4&solve_ranks=%d", (1<<14)+1),
 	} {
 		status, _, body := get(t, ts.URL+"/v1/plan?"+query)
@@ -340,6 +341,77 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if st.UptimeSeconds < 0 {
 		t.Fatalf("negative uptime in %s", body)
+	}
+}
+
+// TestPlanTopologyPreset: a valid topology preset is accepted, keys
+// separately from the plain request (a distinct simulation with a
+// distinct makespan), and shows up in the /v1/stats per-preset counts.
+func TestPlanTopologyPreset(t *testing.T) {
+	var sims atomic.Int64
+	runner := func(ctx context.Context, req plan.Request) (*plan.Exact, error) {
+		sims.Add(1)
+		return plan.Simulate(ctx, req)
+	}
+	_, ts := testServer(t, runner, nil)
+	base := ts.URL + "/v1/plan?n=128&p=8&algo=COnfLUX"
+
+	status, _, plainBody := get(t, base)
+	if status != http.StatusOK {
+		t.Fatalf("plain request: %d %s", status, plainBody)
+	}
+	status, _, hierBody := get(t, base+"&topology=hier")
+	if status != http.StatusOK {
+		t.Fatalf("topology request: %d %s", status, hierBody)
+	}
+	if got := sims.Load(); got != 2 {
+		t.Fatalf("%d simulations, want 2 — topology must miss the plain cache entry", got)
+	}
+	var plain, hier struct {
+		Candidates []struct {
+			Key   string      `json:"key"`
+			Exact *plan.Exact `json:"exact"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(plainBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(hierBody, &hier); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Candidates[0].Key == hier.Candidates[0].Key {
+		t.Fatalf("topology preset did not change the cache key %q", plain.Candidates[0].Key)
+	}
+	if plain.Candidates[0].Exact == nil || hier.Candidates[0].Exact == nil {
+		t.Fatalf("missing exact tier:\n%s\n%s", plainBody, hierBody)
+	}
+	if plain.Candidates[0].Exact.Makespan == hier.Candidates[0].Exact.Makespan {
+		t.Fatal("hier topology left the makespan unchanged — the spec was dropped on the session path")
+	}
+	// Bytes moved are a schedule property, not a topology property.
+	if plain.Candidates[0].Exact.TotalBytes != hier.Candidates[0].Exact.TotalBytes {
+		t.Fatal("topology changed communication volume — it must only re-time the schedule")
+	}
+
+	// Same preset again: cache hit, but the per-preset counter still ticks.
+	if status, _, body := get(t, base+"&topology=hier"); status != http.StatusOK {
+		t.Fatalf("repeat topology request: %d %s", status, body)
+	}
+	if got := sims.Load(); got != 2 {
+		t.Fatalf("repeated topology point re-simulated (%d total)", got)
+	}
+	status, _, statsBody := get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, statsBody)
+	}
+	var st struct {
+		Topologies map[string]int64 `json:"topologies"`
+	}
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatalf("stats body %s: %v", statsBody, err)
+	}
+	if st.Topologies["hier"] != 2 {
+		t.Fatalf("stats %s: want topologies.hier == 2", statsBody)
 	}
 }
 

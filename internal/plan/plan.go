@@ -25,6 +25,7 @@ import (
 
 	conflux "repro"
 	"repro/internal/costmodel"
+	"repro/internal/topo"
 )
 
 // Job selects which simulation a request replays.
@@ -56,6 +57,17 @@ var (
 	KeyFields = []string{
 		"Ranks", "Memory", "Algorithm", "Machine.Alpha", "Machine.Beta",
 		"SolveRanks", "RHS", "RefineSweeps", "BlockSize",
+		// The topology spec changes every simulated clock (two topologies
+		// must never share a cache entry), but reports stay bit-identical
+		// across executors and widths under any topology — so the whole
+		// nested spec is key-relevant, encoded preset name + exact-hex
+		// floats like the machine β. Faults is the fault plan's canonical
+		// string (already exact-hex), keyed verbatim.
+		"Topology.Preset", "Topology.RanksPerNode", "Topology.NodesPerGroup",
+		"Topology.Radix", "Topology.Intra.Alpha", "Topology.Intra.Beta",
+		"Topology.Inter.Alpha", "Topology.Inter.Beta",
+		"Topology.Global.Alpha", "Topology.Global.Beta",
+		"Topology.Contention", "Faults",
 	}
 	ExcludedFields = []string{"Timeout", "Executor", "Workers"}
 )
@@ -81,7 +93,14 @@ type Request struct {
 	SolveRanks   int     `json:"solve_ranks"`
 	RHS          int     `json:"rhs"`
 	RefineSweeps int     `json:"refine_sweeps"`
-	Job          Job     `json:"job"`
+	// Topology is the network-topology spec (zero = plain machine).
+	// Canonicalize does not deep-validate it — an unbuildable spec fails
+	// at Session construction with the public error, while the key stays
+	// a pure encoding (it can only ever miss, never alias).
+	Topology conflux.Topology `json:"topology,omitzero"`
+	// Faults is the canonical fault-plan encoding ("" = none).
+	Faults string `json:"faults,omitempty"`
+	Job    Job    `json:"job"`
 }
 
 // Canonicalize validates req and resolves every defaultable field to its
@@ -140,6 +159,22 @@ func (r Request) Key() string {
 	kv("sr", strconv.Itoa(r.SolveRanks))
 	kv("rhs", strconv.Itoa(r.RHS))
 	kv("ref", strconv.Itoa(r.RefineSweeps))
+	// Topology + faults: preset name and shape as integers, per-tier
+	// machines in exact hex like α/β above. The zero spec renders a fixed
+	// short tail, so pre-topology and zero-topology requests share keys
+	// only with each other — never with a configured topology.
+	kv("topo", r.Topology.Preset)
+	kv("rpn", strconv.Itoa(r.Topology.RanksPerNode))
+	kv("npg", strconv.Itoa(r.Topology.NodesPerGroup))
+	kv("radix", strconv.Itoa(r.Topology.Radix))
+	kv("tia", strconv.FormatFloat(r.Topology.Intra.Alpha, 'x', -1, 64))
+	kv("tib", strconv.FormatFloat(r.Topology.Intra.Beta, 'x', -1, 64))
+	kv("tea", strconv.FormatFloat(r.Topology.Inter.Alpha, 'x', -1, 64))
+	kv("teb", strconv.FormatFloat(r.Topology.Inter.Beta, 'x', -1, 64))
+	kv("tga", strconv.FormatFloat(r.Topology.Global.Alpha, 'x', -1, 64))
+	kv("tgb", strconv.FormatFloat(r.Topology.Global.Beta, 'x', -1, 64))
+	kv("cont", strconv.Itoa(r.Topology.Contention))
+	kv("faults", r.Faults)
 	return b.String()
 }
 
@@ -159,6 +194,8 @@ func FromConfig(cfg conflux.Config, n int, job Job) (Request, error) {
 		SolveRanks:   cfg.SolveRanks,
 		RHS:          cfg.RHS,
 		RefineSweeps: cfg.RefineSweeps,
+		Topology:     cfg.Topology,
+		Faults:       cfg.Faults,
 		Job:          job,
 	}.Canonicalize()
 }
@@ -178,6 +215,16 @@ func (r Request) Session() (*conflux.Session, error) {
 	}
 	if r.NB > 0 {
 		opts = append(opts, conflux.WithBlockSize(r.NB))
+	}
+	if !r.Topology.IsZero() {
+		opts = append(opts, conflux.WithTopology(r.Topology))
+	}
+	if r.Faults != "" {
+		fp, err := topo.ParseFaultPlan(r.Faults)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, conflux.WithFaults(fp))
 	}
 	return conflux.New(opts...)
 }

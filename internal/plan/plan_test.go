@@ -68,9 +68,21 @@ func baseConfig() conflux.Config {
 		RHS:          2,
 		RefineSweeps: 1,
 		BlockSize:    32,
-		Timeout:      time.Minute,
-		Executor:     "auto",
-		Workers:      1,
+		// Every topology leaf non-zero too, so the KeyFields perturbation
+		// loop below exercises each one (a +1 on a zero float is equally
+		// visible, but non-zero bases also catch accidental
+		// normalization in the key path).
+		Topology: conflux.Topology{
+			Preset: "hier", RanksPerNode: 4, NodesPerGroup: 8, Radix: 4,
+			Intra:      conflux.Machine{Alpha: 3e-7, Beta: 2e-11},
+			Inter:      conflux.Machine{Alpha: 1.5e-6, Beta: 1.25e-10},
+			Global:     conflux.Machine{Alpha: 2.7e-6, Beta: 2e-10},
+			Contention: 1,
+		},
+		Faults:   "L0:1:0x1p+03,S3:0x1p+01",
+		Timeout:  time.Minute,
+		Executor: "auto",
+		Workers:  1,
 	}
 }
 
@@ -173,6 +185,56 @@ func TestKeySessionLevel(t *testing.T) {
 	}
 	if r3.Key() == r1.Key() {
 		t.Fatal("an ulp-level β difference did not change the key")
+	}
+}
+
+// TestKeyTopologyLevel pins the topology satellite of the key
+// classification through real Sessions: no-topology, flat-preset, and
+// hier-preset sessions all produce distinct keys; an ulp-level change to
+// the hier spec's inter-node β misses; adding a fault plan misses.
+func TestKeyTopologyLevel(t *testing.T) {
+	key := func(opts ...conflux.Option) string {
+		t.Helper()
+		s, err := conflux.New(append([]conflux.Option{conflux.WithRanks(8)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := FromConfig(s.Config(), 128, JobVolume)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Key()
+	}
+	plain := key()
+	flat := key(conflux.WithTopologyPreset("flat"))
+	hier := key(conflux.WithTopologyPreset("hier"))
+	if plain == flat || plain == hier || flat == hier {
+		t.Fatalf("topology presets alias keys:\nplain %q\nflat  %q\nhier  %q", plain, flat, hier)
+	}
+	spec, err := conflux.TopologyPreset("hier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Inter.Beta *= 1.0000001
+	if key(conflux.WithTopology(spec)) == hier {
+		t.Fatal("an ulp-level inter-node β difference did not change the key")
+	}
+	faulted := key(conflux.WithTopologyPreset("hier"),
+		conflux.WithFaults(conflux.FaultPlan{Links: []conflux.LinkFault{{FromNode: 0, ToNode: 1, Factor: 8}}}))
+	if faulted == hier {
+		t.Fatal("a fault plan did not change the key")
+	}
+	// Entry order in the plan must not matter: Canonical sorts.
+	a := conflux.FaultPlan{
+		Links:      []conflux.LinkFault{{FromNode: 2, ToNode: 3, Factor: 4}, {FromNode: 0, ToNode: 1, Factor: 8}},
+		Stragglers: []conflux.Straggler{{Rank: 5, Factor: 2}},
+	}
+	b := conflux.FaultPlan{
+		Links:      []conflux.LinkFault{{FromNode: 0, ToNode: 1, Factor: 8}, {FromNode: 2, ToNode: 3, Factor: 4}},
+		Stragglers: []conflux.Straggler{{Rank: 5, Factor: 2}},
+	}
+	if key(conflux.WithFaults(a)) != key(conflux.WithFaults(b)) {
+		t.Fatal("fault-plan entry order leaked into the key")
 	}
 }
 

@@ -82,6 +82,11 @@ type Config struct {
 	Machine trace.Machine
 	// MachineSet marks Machine as authoritative even when zero.
 	MachineSet bool
+	// Topology, when non-nil, replaces the flat Machine cost with a
+	// per-pair topology model (internal/topo) on the run's timeline. It
+	// applies to caller-supplied Worlds too — the one Config field World
+	// does not override — so fault-scenario worlds compose with it.
+	Topology trace.Topology
 	// Executor picks the scheduling strategy; zero/auto resolves by
 	// payload mode (see ExecAuto).
 	Executor Executor
@@ -124,6 +129,9 @@ func Exec(ctx context.Context, cfg Config, fn RankFunc) (*trace.Report, error) {
 			m = trace.DefaultMachine()
 		}
 		w = NewWorldMachine(cfg.P, cfg.Payload, m)
+	}
+	if cfg.Topology != nil {
+		w.Trace.SetTopology(cfg.Topology)
 	}
 	ex, err := ResolveExecutor(cfg.Executor, w.Payload)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mat"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -283,6 +284,51 @@ func TestAbortMidConcurrentWindow(t *testing.T) {
 		if len(mb.q) != 0 {
 			t.Fatalf("rank %d mailbox still holds %d keys after reclaim", r, len(mb.q))
 		}
+	}
+}
+
+// TestAbortFaultedTopologyReclaims is TestAbortMidConcurrentWindow on a
+// degraded network: the world's timeline runs under a faulted topology
+// (hier preset + degraded ingress link + a straggler rank). Fault
+// scenarios must compose with cancellation — the abort sweep owes the
+// pools the same P-1 stranded wire buffers whatever the topology charged
+// the clocks.
+func TestAbortFaultedTopologyReclaims(t *testing.T) {
+	const p = 8
+	spec, err := topo.PresetSpec("hier-contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := topo.BuildFaulted(spec, trace.DefaultMachine(), p, topo.FaultPlan{
+		Links:      []topo.LinkFault{{FromNode: -1, ToNode: 0, Factor: 16}},
+		Stragglers: []topo.Straggler{{Rank: 3, Factor: 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(p, true)
+	_, err = Exec(context.Background(), Config{World: w, Topology: tp, Executor: ExecEvents, Workers: p}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return fmt.Errorf("injected failure")
+		}
+		m := mat.New(4, 4)
+		c.SendMat(0, 5, m) // tag 5 is never received
+		c.Recv(0, 99)      // blocks until the abort unwinds it
+		return nil
+	})
+	if err == nil || errors.Is(err, ErrAborted) {
+		t.Fatalf("want the injected failure, got %v", err)
+	}
+	if w.reclaimed.bufs != p-1 {
+		t.Fatalf("reclaimed %d pooled buffers, want %d", w.reclaimed.bufs, p-1)
+	}
+	for r, mb := range w.boxes {
+		if len(mb.q) != 0 {
+			t.Fatalf("rank %d mailbox still holds %d keys after reclaim", r, len(mb.q))
+		}
+	}
+	if got := w.Trace.Report().Time.Topology; got != "hier+contention+faults" {
+		t.Fatalf("aborted report lost the topology stamp: %q", got)
 	}
 }
 

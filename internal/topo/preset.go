@@ -1,0 +1,80 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Preset machines, Piz Daint-flavored (§8: Cray XC50, Aries dragonfly).
+// The tiers deliberately spread latency and bandwidth by roughly an order
+// of magnitude so the replication tradeoff has something to move against:
+//
+//	intra-node   ~0.3 µs, ~50 GB/s   (shared-memory class)
+//	inter-node   ~1.5 µs,  ~8 GB/s   (injection-bandwidth class)
+//	global/core  ~2.7 µs, ~0.5 GB/s  (oversubscribed top tier: a rank's
+//	                                  fair share of a global link serving
+//	                                  whole groups, not a dedicated wire)
+var (
+	presetIntra         = trace.Machine{Alpha: 3e-7, Beta: 2e-11}
+	presetInter         = trace.Machine{Alpha: 1.5e-6, Beta: 1.25e-10}
+	presetGroup         = trace.Machine{Alpha: 1.3e-6, Beta: 1.0e-10}
+	presetGlobal        = trace.Machine{Alpha: 2.7e-6, Beta: 2.0e-9}
+	presetEdge          = trace.Machine{Alpha: 1.0e-6, Beta: 1.0e-10}
+	presetCore          = trace.Machine{Alpha: 1.2e-6, Beta: 2.0e-9}
+	presetRanksPerNode  = 4
+	presetNodesPerGroup = 8
+	presetRadix         = 4
+)
+
+// presetSpecs is the named-preset registry the public WithTopology surface
+// and the confluxd `topology` query parameter validate against. The shape
+// parameters are sized for this repo's simulated worlds (ranks-per-node 4
+// puts even a P=8 test world on multiple nodes; dragonfly groups of 8
+// nodes make P=64 span two groups) rather than for a physical machine.
+var presetSpecs = map[string]Spec{
+	// flat: the session's own α-β machine, as a topology. Pinned
+	// bit-identical to running with no topology at all.
+	"flat": {Preset: "flat"},
+	"hier": {
+		Preset: "hier", RanksPerNode: presetRanksPerNode,
+		Intra: presetIntra, Inter: presetInter,
+	},
+	"hier-contended": {
+		Preset: "hier", RanksPerNode: presetRanksPerNode,
+		Intra: presetIntra, Inter: presetInter, Contention: 1,
+	},
+	"dragonfly": {
+		Preset: "dragonfly", RanksPerNode: presetRanksPerNode, NodesPerGroup: presetNodesPerGroup,
+		Intra: presetIntra, Inter: presetGroup, Global: presetGlobal,
+	},
+	"dragonfly-contended": {
+		Preset: "dragonfly", RanksPerNode: presetRanksPerNode, NodesPerGroup: presetNodesPerGroup,
+		Intra: presetIntra, Inter: presetGroup, Global: presetGlobal, Contention: 1,
+	},
+	"fattree": {
+		Preset: "fattree", RanksPerNode: presetRanksPerNode, Radix: presetRadix,
+		Intra: presetIntra, Inter: presetEdge, Global: presetCore,
+	},
+}
+
+// Presets returns the named preset specs' names in sorted order — the set
+// PresetSpec (and the confluxd `topology` parameter) accepts.
+func Presets() []string {
+	out := make([]string, 0, len(presetSpecs))
+	for name := range presetSpecs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PresetSpec resolves a preset name to its Spec.
+func PresetSpec(name string) (Spec, error) {
+	s, ok := presetSpecs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("topo: unknown topology preset %q (presets: %v)", name, Presets())
+	}
+	return s, nil
+}

@@ -36,6 +36,35 @@ func (m Machine) Time(bytes, msgs float64) float64 {
 // it isolates volume from timing — and not merely "unset".
 func (m Machine) IsZero() bool { return m == Machine{} }
 
+// Topology generalizes the flat Machine into a per-pair cost model: the
+// occupancy a delivery (from, to, bytes) charges each endpoint, plus the
+// time it holds the receiver's shared ingress link. It is the seam
+// internal/topo plugs hierarchical, dragonfly, fat-tree, and contended
+// models into; a nil Topology on the Timeline keeps the flat Machine path
+// byte-for-byte unchanged.
+//
+// Determinism contract (DESIGN.md §14): every method must be a pure
+// function of its arguments. All mutable contention state lives on the
+// receiver's shard and advances only at matching, in the receiver's
+// program order, so reports stay bit-identical across executors and
+// event-window widths exactly as with the flat machine.
+type Topology interface {
+	// Name labels the model in TimeReport.Topology ("flat",
+	// "hier+contention", "dragonfly+faults", ...).
+	Name() string
+	// SendCost is the sender-endpoint occupancy in seconds of injecting a
+	// from → to transfer of the given size.
+	SendCost(from, to int, bytes int64) float64
+	// RecvCost is the receiver-endpoint occupancy of completing it.
+	RecvCost(from, to int, bytes int64) float64
+	// IngressOccupancy is how long the transfer holds the receiver's
+	// shared ingress link before reception work can start. Transfers are
+	// granted the link FIFO in the receiver's matching order; 0 means
+	// uncontended (delivery starts at max(recv clock, send stamp), exactly
+	// the flat rule).
+	IngressOccupancy(from, to int, bytes int64) float64
+}
+
 // Event is one matched point-to-point delivery on the simulated machine.
 // Phase is the sending rank's phase label at send time. SendTime is the
 // sender's logical clock when the injection completed; RecvTime the
@@ -107,16 +136,22 @@ type shard struct {
 	wait      float64
 	timedMsgs int64
 
+	// linkFree is when this rank's shared ingress link next frees up —
+	// the FIFO contention state behind Topology.IngressOccupancy. It is
+	// advanced only under this shard's mutex at matching, in this rank's
+	// program order, which is what keeps contended runs deterministic
+	// (DESIGN.md §14). Stays 0 under a nil or uncontended topology.
+	linkFree float64
+
 	// Events this rank completed (received, or originated one-sided), in
 	// its program order. Retention is globally capped; see appendEvent.
 	events  []Event
 	dropped int64
 
-	// Padding to a multiple of the cache line (120 field bytes + 8 = two
-	// 64-byte lines) so adjacent shards in the backing array do not
-	// false-share under concurrent delivery; TestShardSizeCacheAligned
-	// pins the arithmetic against field drift.
-	_ [8]byte
+	// No trailing pad needed: 128 field bytes = exactly two 64-byte cache
+	// lines, so adjacent shards in the backing array do not false-share
+	// under concurrent delivery; TestShardSizeCacheAligned pins the
+	// arithmetic against field drift.
 }
 
 // phase returns the shard's stat for name, creating it on first use (the
@@ -150,6 +185,11 @@ type Timeline struct {
 	machine Machine
 	shards  []shard
 
+	// topo, when non-nil, replaces the flat machine cost with a per-pair
+	// topology model (SetTopology). Written only before the run starts,
+	// read without locks on the delivery hot path.
+	topo Topology
+
 	// nEvents is the global retention counter backing the event cap.
 	nEvents  atomic.Int64
 	eventCap atomic.Int64
@@ -175,6 +215,16 @@ func NewTimeline(p int, m Machine) *Timeline {
 
 // Machine returns the α-β parameters the timeline advances clocks with.
 func (t *Timeline) Machine() Machine { return t.machine }
+
+// SetTopology replaces the flat machine cost with a per-pair topology
+// model for every subsequent clock advance (nil restores the flat rule).
+// Must be called before the run starts: the field is read without
+// synchronization on the delivery hot path.
+func (t *Timeline) SetTopology(tp Topology) { t.topo = tp }
+
+// Topology returns the installed topology model, or nil for the flat
+// machine.
+func (t *Timeline) Topology() Topology { return t.topo }
 
 // Clock returns rank's current logical clock. The discrete-event executor
 // orders its ready queue by this value (conservative discrete-event
@@ -236,7 +286,12 @@ func (t *Timeline) RecordSend(from, to int, bytes int64, phase string) float64 {
 	ps.bytes += bytes
 	ps.msgs++
 	if ps.timed {
-		d := t.cost(bytes)
+		var d float64
+		if t.topo != nil {
+			d = t.topo.SendCost(from, to, bytes)
+		} else {
+			d = t.cost(bytes)
+		}
 		s.clock += d
 		s.busy += d
 		ps.busy += d
@@ -256,11 +311,34 @@ func (t *Timeline) RecordRecv(from, to int, bytes int64, phase string, sendTime 
 	s := &t.shards[to]
 	s.mu.Lock()
 	if ps := s.phase(phase, t.untimed); ps.timed {
-		if sendTime > s.clock {
-			s.wait += sendTime - s.clock
-			s.clock = sendTime
+		// Delivery starts when the message is in flight AND the receiver
+		// reaches its matching point; under a contended topology it also
+		// waits for the receiver's shared ingress link, granted FIFO in
+		// this rank's matching order (deterministic: the only state is
+		// this shard's linkFree, advanced only here, under this mutex, in
+		// this rank's program order — DESIGN.md §14).
+		start := s.clock
+		if sendTime > start {
+			start = sendTime
 		}
-		d := t.cost(bytes)
+		if t.topo != nil {
+			if occ := t.topo.IngressOccupancy(from, to, bytes); occ > 0 {
+				if s.linkFree > start {
+					start = s.linkFree
+				}
+				s.linkFree = start + occ
+			}
+		}
+		if start > s.clock {
+			s.wait += start - s.clock
+			s.clock = start
+		}
+		var d float64
+		if t.topo != nil {
+			d = t.topo.RecvCost(from, to, bytes)
+		} else {
+			d = t.cost(bytes)
+		}
 		s.clock += d
 		s.busy += d
 		ps.busy += d
@@ -291,7 +369,19 @@ func (t *Timeline) RecordOneSided(active, from, to int, bytes int64, phase strin
 	ps.bytes += bytes
 	ps.msgs++
 	if ps.timed {
-		d := t.cost(bytes)
+		// The origin is the only rank whose clock advances; a Get
+		// (active == to) pays the receiver-side occupancy, a Put the
+		// sender-side. One-sided transfers involve no matching, so they
+		// never touch the FIFO ingress-link state.
+		var d float64
+		switch {
+		case t.topo != nil && active == to:
+			d = t.topo.RecvCost(from, to, bytes)
+		case t.topo != nil:
+			d = t.topo.SendCost(from, to, bytes)
+		default:
+			d = t.cost(bytes)
+		}
 		a.clock += d
 		a.busy += d
 		ps.busy += d
@@ -366,6 +456,9 @@ func (t *Timeline) Report() *Report {
 		CritPhases:   map[string]float64{},
 		PhaseBusyMax: map[string]float64{},
 	}
+	if t.topo != nil {
+		tr.Topology = t.topo.Name()
+	}
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
@@ -414,7 +507,10 @@ func (t *Timeline) Report() *Report {
 // per-rank logical clocks, the busy/wait split, and the phase attribution
 // of the critical (makespan-defining) rank.
 type TimeReport struct {
-	Machine  Machine
+	Machine Machine
+	// Topology names the per-pair topology model the clocks advanced
+	// under ("" = the flat Machine) — provenance, like Report.Executor.
+	Topology string
 	Makespan float64   // max final clock over ranks, seconds
 	Clock    []float64 // per-rank final clocks
 	Busy     []float64 // per-rank α-β transfer work

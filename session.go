@@ -11,6 +11,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mat"
 	"repro/internal/smpi"
+	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/trisolve"
 
 	// Register every in-tree engine: the registry is the only dispatch
@@ -87,6 +89,8 @@ type sessionConfig struct {
 	timeout      time.Duration
 	executor     smpi.Executor // "" = auto
 	workers      int           // 0 = 1: serial event schedule
+	topology     topo.Spec     // zero = plain machine path
+	faults       topo.FaultPlan
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -338,6 +342,15 @@ type Config struct {
 	// BlockSize is the user-specified blocking parameter; 0 means the
 	// engine default (deterministic given Algorithm and the tuple above).
 	BlockSize int
+	// Topology is the network-topology specification (zero = the plain
+	// Machine path). Every leaf is a scalar, and reports are bit-identical
+	// across executors and widths under any topology, so the whole nested
+	// struct is key-relevant and nothing else.
+	Topology Topology
+	// Faults is the canonical encoding of the fault/straggler plan
+	// (FaultPlan.Canonical; "" = none). The encoding is deterministic with
+	// exact-hex factors, so it keys the cache exactly like β does.
+	Faults string
 	// Timeout is the session safety timeout. It bounds wall-clock
 	// execution only and cannot change a completed run's outputs.
 	Timeout time.Duration
@@ -372,6 +385,8 @@ func (s *Session) Config() Config {
 		RHS:          s.cfg.rhs,
 		RefineSweeps: s.cfg.refineSweeps,
 		BlockSize:    s.cfg.nb,
+		Topology:     s.cfg.topology,
+		Faults:       s.cfg.faults.Canonical(),
 		Timeout:      s.cfg.timeout,
 		Executor:     exec,
 		Workers:      workers,
@@ -397,11 +412,23 @@ func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.Rank
 			fmt.Errorf("conflux: simulation exceeded the session safety timeout %v", s.cfg.timeout))
 		defer cancel()
 	}
+	// The topology is built per run: fault plans and fat-tree heights are
+	// sized to the world actually simulated (which can exceed Ranks when
+	// SolveRanks is larger).
+	var tp trace.Topology
+	if !s.cfg.topology.IsZero() || !s.cfg.faults.Empty() {
+		var terr error
+		tp, terr = topo.BuildFaulted(s.cfg.topology, s.cfg.machine, world, s.cfg.faults)
+		if terr != nil {
+			return nil, publicErr(terr)
+		}
+	}
 	rep, err := smpi.Exec(ctx, smpi.Config{
 		P:          world,
 		Payload:    payload,
 		Machine:    s.cfg.machine,
 		MachineSet: true,
+		Topology:   tp,
 		Executor:   s.cfg.executor,
 		Workers:    s.cfg.workers,
 	}, fn)

@@ -1,0 +1,192 @@
+package conflux
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// volumeUnder runs one volume replay with the given options and strips the
+// executor provenance stamps (Executor, Workers) so reports can be
+// compared for bit-identical content across executors and widths. The
+// Topology stamp is kept — same-preset comparisons agree on it, and the
+// fault tests assert it.
+func volumeUnder(t *testing.T, n int, opts ...Option) *VolumeReport {
+	t.Helper()
+	s, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.CommVolume(t.Context(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Executor = ""
+	rep.Workers = 0
+	return rep
+}
+
+// TestFlatTopologyParity pins the tentpole's backward-compatibility edge:
+// the "flat" topology preset evaluates the exact float expression of the
+// plain α-β machine, so every engine's report is bit-identical with and
+// without it, at every event-window width. A single ulp of drift here
+// would split the planner cache and unpin every PR 2/6/7 parity suite.
+func TestFlatTopologyParity(t *testing.T) {
+	n, p := 96, 8
+	for _, algo := range Engines() {
+		base := volumeUnder(t, n, WithRanks(p), WithAlgorithm(algo))
+		for _, w := range []int{1, 2, runtime.NumCPU()} {
+			flat := volumeUnder(t, n, WithRanks(p), WithAlgorithm(algo),
+				WithTopologyPreset("flat"), WithExecutor("events"), WithWorkers(w))
+			if flat.Time.Topology != "flat" {
+				t.Fatalf("%s workers=%d: topology stamp %q, want flat", algo, w, flat.Time.Topology)
+			}
+			flat.Time.Topology = "" // provenance; everything else must match bit-for-bit
+			if !reflect.DeepEqual(base, flat) {
+				t.Fatalf("%s workers=%d: flat topology is not bit-identical to the plain machine", algo, w)
+			}
+		}
+	}
+}
+
+// TestFlatTopologyStamp: the preset is still visible as provenance even
+// though the numbers are unchanged.
+func TestFlatTopologyStamp(t *testing.T) {
+	s, err := New(WithRanks(4), WithTopologyPreset("flat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.CommVolume(t.Context(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Time.Topology != "flat" {
+		t.Fatalf("topology stamp %q, want flat", rep.Time.Topology)
+	}
+}
+
+// TestTopologyWidthDeterminism is the §14 determinism pin: under every
+// non-flat preset — including the contended ones, whose FIFO ingress-link
+// state is the one piece of topology state mutated during a run — reports
+// are bit-identical across both executors and every event-window width.
+// Run under -race this also stresses that the link state is properly
+// serialized under the shard mutexes.
+func TestTopologyWidthDeterminism(t *testing.T) {
+	n, p := 96, 8
+	for _, preset := range TopologyPresets() {
+		preset := preset
+		t.Run(preset, func(t *testing.T) {
+			t.Parallel()
+			base := volumeUnder(t, n, WithRanks(p), WithTopologyPreset(preset),
+				WithExecutor("events"), WithWorkers(1))
+			gor := volumeUnder(t, n, WithRanks(p), WithTopologyPreset(preset),
+				WithExecutor("goroutines"))
+			if !reflect.DeepEqual(base, gor) {
+				t.Fatal("goroutine executor diverged from the serial event executor")
+			}
+			for _, w := range []int{2, 4, runtime.NumCPU()} {
+				wide := volumeUnder(t, n, WithRanks(p), WithTopologyPreset(preset),
+					WithExecutor("events"), WithWorkers(w))
+				if !reflect.DeepEqual(base, wide) {
+					t.Fatalf("width %d diverged from the serial schedule", w)
+				}
+			}
+		})
+	}
+}
+
+// TestContentionCharges: the contended hier preset can only slow a run
+// down relative to its uncontended twin — ingress serialization adds wait
+// time, never removes it — and must change the makespan on a schedule
+// with concurrent deliveries into one rank. The point is chosen large
+// enough for incast to actually overlap on a node ingress link: at toy
+// sizes every delivery drains before the next send is even in flight and
+// the contended report is correctly identical.
+func TestContentionCharges(t *testing.T) {
+	n, p := 512, 32
+	un := volumeUnder(t, n, WithRanks(p), WithTopologyPreset("hier"))
+	con := volumeUnder(t, n, WithRanks(p), WithTopologyPreset("hier-contended"))
+	if con.Time.Makespan <= un.Time.Makespan {
+		t.Fatalf("contended makespan %v not above uncontended %v",
+			con.Time.Makespan, un.Time.Makespan)
+	}
+	if un.TotalBytes() != con.TotalBytes() {
+		t.Fatal("contention changed communication volume — it must only re-time the schedule")
+	}
+}
+
+// TestStragglerReattribution: slowing one rank's transfers must increase
+// the makespan, inflate the straggler's own clock, and move the critical
+// path off the unfaulted critical rank — re-attribution lands on the
+// straggler or on a rank downstream of its late sends (a receiver is
+// never earlier than the data it waits for), and either way the faulted
+// report names a different bottleneck than the clean one.
+func TestStragglerReattribution(t *testing.T) {
+	n, p := 96, 8
+	base := volumeUnder(t, n, WithRanks(p), WithTopologyPreset("hier"))
+	straggler := (base.Time.CritRank + 3) % p // any non-critical rank
+	faulted := volumeUnder(t, n, WithRanks(p), WithTopologyPreset("hier"),
+		WithFaults(FaultPlan{Stragglers: []Straggler{{Rank: straggler, Factor: 64}}}))
+	if faulted.Time.Makespan <= base.Time.Makespan {
+		t.Fatalf("straggler did not increase the makespan: %v vs %v",
+			faulted.Time.Makespan, base.Time.Makespan)
+	}
+	if faulted.Time.Clock[straggler] <= base.Time.Clock[straggler] {
+		t.Fatalf("straggler clock did not inflate: %v vs %v",
+			faulted.Time.Clock[straggler], base.Time.Clock[straggler])
+	}
+	if faulted.Time.CritRank == base.Time.CritRank {
+		t.Fatalf("critical path stayed on rank %d — fault left attribution unchanged",
+			base.Time.CritRank)
+	}
+	if faulted.Time.Topology != "hier+faults" {
+		t.Fatalf("topology stamp %q, want hier+faults", faulted.Time.Topology)
+	}
+}
+
+// TestLinkDegradation: an 8x-degraded inter-node link raises the makespan;
+// faults compose with a plain (no-topology) session by wrapping the flat
+// machine.
+func TestLinkDegradation(t *testing.T) {
+	n, p := 96, 8
+	base := volumeUnder(t, n, WithRanks(p), WithTopologyPreset("hier"))
+	faulted := volumeUnder(t, n, WithRanks(p), WithTopologyPreset("hier"),
+		WithFaults(FaultPlan{Links: []LinkFault{{FromNode: -1, ToNode: 0, Factor: 8}}}))
+	if faulted.Time.Makespan <= base.Time.Makespan {
+		t.Fatalf("degraded link did not increase the makespan: %v vs %v",
+			faulted.Time.Makespan, base.Time.Makespan)
+	}
+	flat := volumeUnder(t, n, WithRanks(p))
+	flatFaulted := volumeUnder(t, n, WithRanks(p),
+		WithFaults(FaultPlan{Stragglers: []Straggler{{Rank: 0, Factor: 4}}}))
+	if flatFaulted.Time.Makespan <= flat.Time.Makespan {
+		t.Fatalf("fault plan on a plain session had no effect: %v vs %v",
+			flatFaulted.Time.Makespan, flat.Time.Makespan)
+	}
+}
+
+// TestTopologyOptionValidation: invalid specs and plans fail at New with
+// the public error surface, not at run time.
+func TestTopologyOptionValidation(t *testing.T) {
+	if _, err := New(WithTopologyPreset("torus")); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := New(WithTopology(Topology{Preset: "hier", Contention: 7})); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := New(WithFaults(FaultPlan{Stragglers: []Straggler{{Rank: 0, Factor: -1}}})); err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+	cfg, err := New(WithRanks(4), WithTopologyPreset("dragonfly-contended"),
+		WithFaults(FaultPlan{Links: []LinkFault{{FromNode: 0, ToNode: 1, Factor: 2}}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Config()
+	if c.Topology.Preset != "dragonfly" || c.Topology.Contention != 1 {
+		t.Fatalf("resolved spec %+v, want dragonfly family with contention", c.Topology)
+	}
+	if c.Faults == "" {
+		t.Fatal("Config dropped the fault plan")
+	}
+}
