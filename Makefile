@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-full vet fmt-check apicheck bench-smoke bench-json conformance cover loadtest ci
+.PHONY: all build test test-full vet fmt-check apicheck bench-smoke bench-json kernels conformance cover loadtest ci
 
 all: ci
 
@@ -41,8 +41,10 @@ fmt-check:
 # profile of that registry is written to conformance_engine.out and
 # uploaded by CI. Also runs inside `make test`; kept addressable so CI
 # gates on it explicitly.
+# -timeout: the N=4096/P=64 numeric paper-scale case (DESIGN.md §15)
+# far outruns go test's default 10m budget under the race detector.
 conformance:
-	$(GO) test -race -run 'TestConformance' -v \
+	$(GO) test -race -timeout 90m -run 'TestConformance' -v \
 		-coverprofile=conformance_engine.out -coverpkg=repro/internal/engine .
 	$(GO) tool cover -func=conformance_engine.out
 
@@ -81,6 +83,14 @@ bench-smoke:
 #    compares exactly and -exit makes any drift a hard failure — this is a
 #    determinism gate, not a perf gate. Regenerate the record with
 #    `confluxbench -exp topology -scale small -json BENCH_topo.json`.
+#  - BENCH_kernels_run.json: the local level-3 kernel suite (blocked
+#    GEMM/TRSM/LU panel vs the seed straight loop, DESIGN.md §15),
+#    compared against the committed record BENCH_kernels.json. Rows use
+#    the perf threshold; the headline 512×512 blocked-GEMM speedup
+#    additionally has a hard ≥4x floor, and -exit makes either failure
+#    fatal — the kernels are what lets numeric conformance run at paper
+#    scale. Regenerate the record with
+#    `confluxbench -exp kernels -json BENCH_kernels.json`.
 bench-json:
 	$(GO) run ./cmd/confluxbench -exp smoke -json BENCH_smoke.json
 	$(GO) run ./cmd/confluxbench -exp perf -scale small -json BENCH_scale.json
@@ -89,6 +99,13 @@ bench-json:
 	$(GO) run ./cmd/benchdiff BENCH_events.json BENCH_sched.json
 	$(GO) run ./cmd/confluxbench -exp topology -scale small -json BENCH_topo_run.json
 	$(GO) run ./cmd/benchdiff -exit BENCH_topo.json BENCH_topo_run.json
+	$(GO) run ./cmd/confluxbench -exp kernels -json BENCH_kernels_run.json
+	$(GO) run ./cmd/benchdiff -exit BENCH_kernels.json BENCH_kernels_run.json
+
+# The kernel micro-benchmark suite with allocation reporting: the Go
+# benchmarks behind the BENCH_kernels.json rows, for interactive tuning.
+kernels:
+	$(GO) test -bench 'BenchmarkKernel' -benchmem -run '^$$' ./internal/blas
 
 # Planner-service load gate: ~50 concurrent clients hammer one plan point
 # through confluxd's full HTTP stack; the deterministic result cache must

@@ -11,7 +11,9 @@
 //     optimal LU factorization (or any registered engine) and the
 //     distributed multi-RHS triangular solve on a simulated P-rank
 //     machine, with numeric results gathered at the caller and both
-//     phases metered and timed (DESIGN.md §8).
+//     phases metered and timed (DESIGN.md §8). Numeric payloads run on
+//     cache-blocked local kernels whose results are bit-identical at
+//     every WithKernelWorkers width (DESIGN.md §15).
 //   - CommVolume replays an engine's communication schedule in volume
 //     mode and returns the metered traffic — the paper's measurement
 //     methodology (§8).

@@ -11,6 +11,12 @@
 // of the same sweep must agree bit for bit, and any drift on a shared row
 // is a determinism regression regardless of threshold.
 //
+// Records with "kind": "kernels" (`confluxbench -exp kernels -json`) are
+// host measurements of the local level-3 kernels: rows compare with the
+// perf threshold, and the headline 512×512 blocked-GEMM speedup must stay
+// at or above bench.MinGemmSpeedup512 — the acceptance floor that lets
+// numeric factorization run at paper scale.
+//
 // Usage:
 //
 //	benchdiff [-threshold 10] [-exit] OLD.json NEW.json
@@ -29,11 +35,13 @@ import (
 	"repro/internal/bench"
 )
 
-// record is one loaded file: exactly one of perf/topo is set, dispatched
-// on the "kind" field ("" = a perf record, which predates the field).
+// record is one loaded file: exactly one of perf/topo/kern is set,
+// dispatched on the "kind" field ("" = a perf record, which predates the
+// field).
 type record struct {
 	perf *bench.PerfReport
 	topo *bench.TopoReport
+	kern *bench.KernelReport
 }
 
 func load(path string) (record, error) {
@@ -53,6 +61,13 @@ func load(path string) (record, error) {
 			return record{}, fmt.Errorf("%s: %w", path, err)
 		}
 		return record{topo: &rep}, nil
+	}
+	if kind.Kind == "kernels" {
+		var rep bench.KernelReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return record{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return record{kern: &rep}, nil
 	}
 	var rep bench.PerfReport
 	if err := json.Unmarshal(raw, &rep); err != nil {
@@ -104,6 +119,48 @@ func diffTopo(oldRep, newRep *bench.TopoReport) (int, int) {
 	return drift, compared
 }
 
+// diffKernels compares two kernel micro-benchmark records: shared rows
+// with the perf threshold on time, plus the headline 512×512 GEMM speedup
+// floor (bench.MinGemmSpeedup512) — the blocked kernels are what lets
+// numeric factorization run at paper scale, so falling below the floor is
+// a regression even if no individual row moved by the threshold. Records
+// taken on hosts with different ISAs (asm vs generic micro-kernel) are
+// compared with rows only; the speedup floor still applies, since the
+// acceptance bar is host-relative.
+func diffKernels(oldRep, newRep *bench.KernelReport, threshold float64) (int, int) {
+	fmt.Printf("benchdiff kernel records (isa %s -> %s), regression threshold %.0f%%\n",
+		oldRep.ISA, newRep.ISA, threshold)
+	oldByName := map[string]bench.KernelRow{}
+	for _, r := range oldRep.Rows {
+		oldByName[r.Name] = r
+	}
+	fmt.Printf("%-36s %14s %14s %8s %12s\n", "case", "old", "new", "Δtime", "MFLOP/s")
+	regressions, compared := 0, 0
+	for _, r := range newRep.Rows {
+		o, ok := oldByName[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		dt := pct(o.NsPerOp, r.NsPerOp)
+		mark := ""
+		if dt > threshold {
+			mark = "  <<< REGRESSION: time"
+			regressions++
+		}
+		fmt.Printf("%-36s %14s %14s %+7.1f%% %12.0f%s\n",
+			r.Name, time.Duration(o.NsPerOp), time.Duration(r.NsPerOp), dt, r.MFlops, mark)
+	}
+	fmt.Printf("speedup at 512x512: %.2fx -> %.2fx (floor %.1fx)\n",
+		oldRep.Speedup512, newRep.Speedup512, bench.MinGemmSpeedup512)
+	if newRep.Speedup512 < bench.MinGemmSpeedup512 {
+		fmt.Printf("  <<< REGRESSION: blocked GEMM speedup below the %.1fx acceptance floor\n",
+			bench.MinGemmSpeedup512)
+		regressions++
+	}
+	return regressions, compared
+}
+
 func pct(old, new int64) float64 {
 	if old == 0 {
 		return 0
@@ -144,6 +201,24 @@ func main() {
 		}
 		if drift > 0 {
 			fmt.Fprintf(os.Stderr, "\nbenchdiff: %d topology row(s) drifted — simulated results are deterministic, so this is a real change\n", drift)
+			if *hardExit {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if oldRec.kern != nil || newRec.kern != nil {
+		if oldRec.kern == nil || newRec.kern == nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: cannot compare a kernels record with a different kind")
+			os.Exit(2)
+		}
+		regressions, compared := diffKernels(oldRec.kern, newRec.kern, *threshold)
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: the two records share no cases")
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "\nbenchdiff: %d kernel case(s) regressed — the level-3 kernels are a conformance prerequisite, inspect before merging\n", regressions)
 			if *hardExit {
 				os.Exit(1)
 			}

@@ -20,6 +20,7 @@
 //	confluxbench -exp smoke -json BENCH_smoke.json
 //	confluxbench -exp sched -scale paper -json BENCH_events.json
 //	confluxbench -exp topology -scale small -json BENCH_topo.json
+//	confluxbench -exp kernels -json BENCH_kernels.json
 //	confluxbench -exp table2 -executor events
 package main
 
@@ -93,14 +94,14 @@ func main() {
 }
 
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | perf | sched | topology | all")
+	exp := flag.String("exp", "all", "experiment: table2 | fig6a | fig6b | fig7 | ablation | sweep | solve | smoke | perf | sched | topology | kernels | all")
 	sc := flag.String("scale", "small", "scale preset: small | medium | paper (-exp sched also takes beyond)")
 	cellN := flag.Int("cellN", 0, "with -exp cell: the N of a single Table-2 cell")
 	cellP := flag.Int("cellP", 0, "with -exp cell: the P of a single Table-2 cell")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	alpha := flag.Float64("alpha", bench.Machine.Alpha, "α: per-message latency of the simulated machine (seconds)")
 	beta := flag.Float64("beta", bench.Machine.Beta, "β: per-byte transfer cost of the simulated machine (seconds/byte)")
-	jsonOut := flag.String("json", "", "with -exp smoke|perf|sched|topology: write the machine-readable record to this path")
+	jsonOut := flag.String("json", "", "with -exp smoke|perf|sched|topology|kernels: write the machine-readable record to this path")
 	solveNRHS := flag.Int("nrhs", 0, "with -exp solve: override the scale preset's right-hand-side count")
 	executor := flag.String("executor", "auto", "smpi executor for replayed worlds: auto | goroutines | events")
 	execWorkers := flag.Int("workers", 0, "event-executor window width: ranks of one world run concurrently (0|1 = serial, -1 = NumCPU)")
@@ -320,6 +321,26 @@ func realMain() (code int) {
 			if o, ok := rep.Optima[name]; ok {
 				fmt.Printf("optimal under %-22s %s at c=%d (%.6es)\n", name, o.Algo, o.C, o.Makespan)
 			}
+		}
+		if *jsonOut != "" {
+			fh, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			if err := rep.WriteJSON(fh); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	// The kernel suite is scale-independent (fixed micro-benchmark shapes,
+	// host-relative speedup floor), so the scale struct is unused.
+	run("kernels", func(scale) error {
+		rep, err := bench.RunKernels(ctx, os.Stdout)
+		if err != nil {
+			return err
 		}
 		if *jsonOut != "" {
 			fh, err := os.Create(*jsonOut)

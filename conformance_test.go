@@ -2,8 +2,11 @@ package conflux
 
 import (
 	"fmt"
+	"math"
 	"testing"
+	"time"
 
+	"repro/internal/blas"
 	"repro/internal/mat"
 	"repro/internal/testutil"
 )
@@ -115,6 +118,76 @@ func TestConformanceSolveAcrossEngines(t *testing.T) {
 				t.Fatalf("%s p=%d backward error %v", algo, p, be)
 			}
 		}
+	}
+}
+
+// TestConformanceNumericPaperScale is the headline end-to-end correctness
+// check: a numeric (payload-carrying) factorize+solve at N=4096 / P=64 —
+// a Table-2 point of the paper — made tractable by the cache-blocked
+// level-3 kernels (DESIGN.md §15), where the suite's previous numeric
+// ceiling was n=45. It also pins the §15 determinism contract at scale:
+// the same factorization on sessions configured with kernel worker counts
+// 1 and 2, and across reps, must agree to the last bit of every LU entry
+// and pivot. Behind -short: the run budgets ~3¼ minutes bare and about
+// an hour under the race detector (make conformance raises go test's
+// timeout accordingly).
+func TestConformanceNumericPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale numeric conformance skipped in -short mode")
+	}
+	defer blas.SetKernelWorkers(1)
+	n, p, nrhs := 4096, 64, 2
+	a := mat.Random(n, n, conformanceSeed(n, p))
+	b := mat.Random(n, nrhs, conformanceSeed(n, p)+1)
+
+	factor := func(kernelWorkers int) *Result {
+		t.Helper()
+		// One factorization runs ~1.5 min bare but far outruns the 10 min
+		// session safety default under the race detector's instrumented
+		// generic/packing paths; the harness timeout still bounds the test.
+		s, err := New(WithRanks(p), WithAlgorithm(COnfLUX), WithKernelWorkers(kernelWorkers),
+			WithTimeout(80*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Factorize(t.Context(), a)
+		if err != nil {
+			t.Fatalf("factorize (kernel workers %d): %v", kernelWorkers, err)
+		}
+		return res
+	}
+
+	ref := factor(1)
+	if err := testutil.IsPermutation(ref.Perm, n); err != nil {
+		t.Fatalf("perm: %v", err)
+	}
+	if r := testutil.ResidualLUPerm(a, ref.LU, ref.Perm); r > conformanceTol {
+		t.Fatalf("residual %v > %v", r, conformanceTol)
+	}
+
+	// Rep 2 on a wider-kernel session: bit-identical factors and pivots.
+	rep := factor(2)
+	for i := range ref.Perm {
+		if ref.Perm[i] != rep.Perm[i] {
+			t.Fatalf("pivot %d differs across kernel worker counts: %d != %d", i, ref.Perm[i], rep.Perm[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		r1, r2 := ref.LU.Row(i), rep.LU.Row(i)
+		for j := range r1 {
+			if math.Float64bits(r1[j]) != math.Float64bits(r2[j]) {
+				t.Fatalf("LU(%d,%d) differs across kernel worker counts: %x != %x",
+					i, j, math.Float64bits(r1[j]), math.Float64bits(r2[j]))
+			}
+		}
+	}
+
+	x, err := ref.SolveManyFactoredContext(t.Context(), b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if be := testutil.SolveBackwardError(a, x, b); be > conformanceTol {
+		t.Fatalf("backward error %v > %v", be, conformanceTol)
 	}
 }
 

@@ -1,0 +1,31 @@
+package blas
+
+// microGeneric is the portable micro-kernel: it accumulates the full
+// mr×nr product of one packed A strip and one packed B strip in a local
+// tile, then folds alpha·tile into the mrb×nrb valid region of C (row
+// stride ldc). It is the only compute path on non-amd64 hosts and handles
+// the ragged edge tiles everywhere: padding lanes in the packed strips are
+// explicit zeros, so accumulating the full tile and writing back only the
+// valid cells is exact.
+func microGeneric(kb int, alpha float64, ap, bp []float64, c []float64, ldc, mrb, nrb int) {
+	var acc [mr * nr]float64
+	for p := 0; p < kb; p++ {
+		bs := bp[p*nr : p*nr+nr]
+		as := ap[p*mr : p*mr+mr]
+		for r := 0; r < mr; r++ {
+			ar := as[r]
+			t := acc[r*nr : r*nr+nr]
+			t[0] += ar * bs[0]
+			t[1] += ar * bs[1]
+			t[2] += ar * bs[2]
+			t[3] += ar * bs[3]
+		}
+	}
+	for r := 0; r < mrb; r++ {
+		row := c[r*ldc : r*ldc+nrb]
+		t := acc[r*nr:]
+		for j := range row {
+			row[j] += alpha * t[j]
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package blas
+
+// hasAVX2FMA reports whether the vectorized micro-kernel is available.
+// Only the amd64 build carries one.
+const hasAVX2FMA = false
+
+// microKernel computes one full mr×nr tile: C += alpha·Ap·Bp with C at
+// row stride ldc. On non-amd64 hosts this is the portable kernel.
+func microKernel(kb int, alpha float64, ap, bp []float64, c []float64, ldc int) {
+	microGeneric(kb, alpha, ap, bp, c, ldc, mr, nr)
+}
+
+// KernelISA names the micro-kernel implementation in use, for benchmark
+// reports.
+func KernelISA() string { return "generic" }

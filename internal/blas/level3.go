@@ -8,6 +8,15 @@ import (
 
 // Gemm computes C = alpha*A*B + beta*C for row-major matrices.
 // Phantom operands make the call a no-op (shape checks still apply).
+//
+// LAPACK/BLAS semantics: beta == 0 overwrites C (a NaN or Inf in an
+// uninitialized output buffer cannot propagate), and alpha == 0 skips the
+// product without referencing A or B. Every nonzero partial product is
+// accumulated — there is no data-dependent skip, so a NaN/Inf in B
+// reaches C even when the matching A entry is zero. Large shapes run on
+// the cache-blocked kernel (gemm_kernel.go); both paths accumulate each C
+// element in a fixed k-order determined only by the shapes, so results
+// are bit-identical across reps and kernel worker counts.
 func Gemm(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
 	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
 		panic(fmt.Sprintf("blas: Gemm shapes %dx%d * %dx%d -> %dx%d",
@@ -16,7 +25,50 @@ func Gemm(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
 	if a.Phantom() || b.Phantom() || c.Phantom() {
 		return
 	}
-	if beta != 1 {
+	scaleRows(c, beta)
+	if alpha == 0 || a.Cols == 0 {
+		return
+	}
+	if 2*a.Rows*b.Cols*a.Cols >= blockedFlopCutoff {
+		gemmBlocked(alpha, a, b, c)
+		return
+	}
+	gemmAccum(alpha, a, b, c)
+}
+
+// GemmRef is the straight-loop reference implementation of Gemm (the seed
+// i-k-j kernel, with the beta/alpha conventions above). It is the oracle
+// for the blocked-kernel property suite and the baseline the kernels
+// benchmark measures speedup against; it never dispatches to the blocked
+// path.
+func GemmRef(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("blas: GemmRef shapes %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if a.Phantom() || b.Phantom() || c.Phantom() {
+		return
+	}
+	scaleRows(c, beta)
+	if alpha == 0 {
+		return
+	}
+	gemmAccum(alpha, a, b, c)
+}
+
+// scaleRows applies C = beta*C with beta == 0 meaning overwrite-with-zero
+// rather than multiply (so 0·NaN poison never forms).
+func scaleRows(c *mat.Matrix, beta float64) {
+	switch beta {
+	case 1:
+	case 0:
+		for i := 0; i < c.Rows; i++ {
+			row := c.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	default:
 		for i := 0; i < c.Rows; i++ {
 			row := c.Row(i)
 			for j := range row {
@@ -24,14 +76,15 @@ func Gemm(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
 			}
 		}
 	}
-	// i-k-j loop order: unit-stride access on B and C rows.
+}
+
+// gemmAccum adds alpha*A*B into C with the i-k-j loop: unit-stride access
+// on B and C rows. No zero-skip on A entries — 0·NaN must stay NaN.
+func gemmAccum(alpha float64, a, b *mat.Matrix, c *mat.Matrix) {
 	for i := 0; i < a.Rows; i++ {
 		arow, crow := a.Row(i), c.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			aik := alpha * arow[k]
-			if aik == 0 {
-				continue
-			}
 			brow := b.Row(k)
 			for j := range crow {
 				crow[j] += aik * brow[j]
@@ -42,7 +95,9 @@ func Gemm(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix) {
 
 // GemmMaskedRows is Gemm restricted to the rows i of A and C for which
 // active[i] is true. COnfLUX's row masking (paper §7.3) updates only
-// not-yet-pivoted rows in place of physically swapping them out.
+// not-yet-pivoted rows in place of physically swapping them out. The
+// beta == 0 overwrite and no-zero-skip conventions match Gemm; inactive
+// rows are untouched (not even scaled), as before.
 func GemmMaskedRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix, active []bool) {
 	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
 		panic("blas: GemmMaskedRows shape mismatch")
@@ -58,16 +113,22 @@ func GemmMaskedRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix
 			continue
 		}
 		arow, crow := a.Row(i), c.Row(i)
-		if beta != 1 {
+		switch beta {
+		case 1:
+		case 0:
+			for j := range crow {
+				crow[j] = 0
+			}
+		default:
 			for j := range crow {
 				crow[j] *= beta
 			}
 		}
+		if alpha == 0 {
+			continue
+		}
 		for k := 0; k < a.Cols; k++ {
 			aik := alpha * arow[k]
-			if aik == 0 {
-				continue
-			}
 			brow := b.Row(k)
 			for j := range crow {
 				crow[j] += aik * brow[j]
@@ -78,7 +139,8 @@ func GemmMaskedRows(alpha float64, a, b *mat.Matrix, beta float64, c *mat.Matrix
 
 // TrsmLowerLeft solves L*X = B in place (B becomes X) where L is unit or
 // non-unit lower triangular. This is the "FactorizeA01" kernel: columns of
-// the pivot-row panel are solved against L00.
+// the pivot-row panel are solved against L00. Large systems run blocked
+// (trsm_blocked.go), funneling the update step through the GEMM core.
 func TrsmLowerLeft(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
 	if l.Rows != l.Cols || l.Rows != b.Rows {
 		panic("blas: TrsmLowerLeft shape mismatch")
@@ -86,15 +148,20 @@ func TrsmLowerLeft(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
 	if l.Phantom() || b.Phantom() {
 		return
 	}
+	if l.Rows > trsmBlock {
+		trsmLowerLeftBlocked(l, b, unitDiag)
+		return
+	}
+	trsmLowerLeftUnb(l, b, unitDiag)
+}
+
+func trsmLowerLeftUnb(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
 	n := l.Rows
 	for i := 0; i < n; i++ {
 		bi := b.Row(i)
 		li := l.Row(i)
 		for k := 0; k < i; k++ {
 			lik := li[k]
-			if lik == 0 {
-				continue
-			}
 			bk := b.Row(k)
 			for j := range bi {
 				bi[j] -= lik * bk[j]
@@ -112,7 +179,8 @@ func TrsmLowerLeft(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
 // TrsmUpperLeft solves U*X = B in place (B becomes X) where U is upper
 // triangular (non-unit diagonal). This is the back-substitution kernel of the
 // distributed solve: diagonal blocks of the combined LU factors are passed
-// whole, and only their upper triangle (diagonal included) is read.
+// whole, and only their upper triangle (diagonal included) is read — the
+// blocked variant preserves that contract.
 func TrsmUpperLeft(u *mat.Matrix, b *mat.Matrix) {
 	if u.Rows != u.Cols || u.Rows != b.Rows {
 		panic("blas: TrsmUpperLeft shape mismatch")
@@ -120,15 +188,20 @@ func TrsmUpperLeft(u *mat.Matrix, b *mat.Matrix) {
 	if u.Phantom() || b.Phantom() {
 		return
 	}
+	if u.Rows > trsmBlock {
+		trsmUpperLeftBlocked(u, b)
+		return
+	}
+	trsmUpperLeftUnb(u, b)
+}
+
+func trsmUpperLeftUnb(u *mat.Matrix, b *mat.Matrix) {
 	n := u.Rows
 	for i := n - 1; i >= 0; i-- {
 		bi := b.Row(i)
 		ui := u.Row(i)
 		for k := i + 1; k < n; k++ {
 			uik := ui[k]
-			if uik == 0 {
-				continue
-			}
 			bk := b.Row(k)
 			for j := range bi {
 				bi[j] -= uik * bk[j]
@@ -151,6 +224,14 @@ func TrsmUpperRight(u *mat.Matrix, b *mat.Matrix) {
 	if u.Phantom() || b.Phantom() {
 		return
 	}
+	if u.Cols > trsmBlock {
+		trsmUpperRightBlocked(u, b)
+		return
+	}
+	trsmUpperRightUnb(u, b)
+}
+
+func trsmUpperRightUnb(u *mat.Matrix, b *mat.Matrix) {
 	n := u.Cols
 	for i := 0; i < b.Rows; i++ {
 		bi := b.Row(i)
@@ -201,9 +282,6 @@ func Ger(alpha float64, x, y []float64, a *mat.Matrix) {
 	}
 	for i := 0; i < a.Rows; i++ {
 		xi := alpha * x[i]
-		if xi == 0 {
-			continue
-		}
 		row := a.Row(i)
 		for j := range row {
 			row[j] += xi * y[j]

@@ -1,0 +1,60 @@
+package blas
+
+import "repro/internal/mat"
+
+// trsmBlock is the diagonal-block size of the blocked triangular solves.
+// Each tb×tb diagonal system is solved with the unblocked kernel (it fits
+// in L1), and the trailing update — all the level-3 work — is one Gemm
+// call, so TRSM rides the packed micro-kernel path and inherits its
+// determinism argument: the block sequence is fixed by n and tb, and each
+// update is a Gemm with shape-determined evaluation order.
+const trsmBlock = 64
+
+// trsmLowerLeftBlocked solves L*X = B in place, forward over row blocks:
+// solve the diagonal block, then eliminate it from all rows below with
+// B[k+tb:] -= L[k+tb:, k..k+tb) * X[k..k+tb). Reads only the lower
+// triangle of L (diagonal included).
+func trsmLowerLeftBlocked(l *mat.Matrix, b *mat.Matrix, unitDiag bool) {
+	n := l.Rows
+	for k0 := 0; k0 < n; k0 += trsmBlock {
+		kb := min(trsmBlock, n-k0)
+		trsmLowerLeftUnb(l.View(k0, k0, kb, kb), b.View(k0, 0, kb, b.Cols), unitDiag)
+		if rest := n - k0 - kb; rest > 0 {
+			Gemm(-1, l.View(k0+kb, k0, rest, kb), b.View(k0, 0, kb, b.Cols),
+				1, b.View(k0+kb, 0, rest, b.Cols))
+		}
+	}
+}
+
+// trsmUpperLeftBlocked solves U*X = B in place, backward over row blocks:
+// solve the diagonal block, then eliminate it from all rows above with
+// B[:k0] -= U[:k0, k0..k0+kb) * X[k0..k0+kb). Reads only the upper
+// triangle of U (diagonal included).
+func trsmUpperLeftBlocked(u *mat.Matrix, b *mat.Matrix) {
+	n := u.Rows
+	start := ((n - 1) / trsmBlock) * trsmBlock
+	for k0 := start; k0 >= 0; k0 -= trsmBlock {
+		kb := min(trsmBlock, n-k0)
+		trsmUpperLeftUnb(u.View(k0, k0, kb, kb), b.View(k0, 0, kb, b.Cols))
+		if k0 > 0 {
+			Gemm(-1, u.View(0, k0, k0, kb), b.View(k0, 0, kb, b.Cols),
+				1, b.View(0, 0, k0, b.Cols))
+		}
+	}
+}
+
+// trsmUpperRightBlocked solves X*U = B in place, forward over column
+// blocks: solve against the diagonal block, then fold the solved columns
+// into the trailing ones with B[:, j0+jb:] -= X[:, j0..j0+jb) *
+// U[j0..j0+jb, j0+jb:). Reads only the upper triangle of U.
+func trsmUpperRightBlocked(u *mat.Matrix, b *mat.Matrix) {
+	n := u.Cols
+	for j0 := 0; j0 < n; j0 += trsmBlock {
+		jb := min(trsmBlock, n-j0)
+		trsmUpperRightUnb(u.View(j0, j0, jb, jb), b.View(0, j0, b.Rows, jb))
+		if rest := n - j0 - jb; rest > 0 {
+			Gemm(-1, b.View(0, j0, b.Rows, jb), u.View(j0, j0+jb, jb, rest),
+				1, b.View(0, j0+jb, b.Rows, rest))
+		}
+	}
+}

@@ -50,11 +50,10 @@ func Getrf2(a *mat.Matrix, ipiv []int) error {
 		}
 		inv := 1 / a.At(k, k)
 		for i := k + 1; i < m; i++ {
+			// No zero-multiplier skip: a NaN/Inf in the pivot row must
+			// propagate even when lik == 0 (same convention as blas.Gemm).
 			lik := a.At(i, k) * inv
 			a.Set(i, k, lik)
-			if lik == 0 {
-				continue
-			}
 			ai, ak := a.Row(i), a.Row(k)
 			for j := k + 1; j < n; j++ {
 				ai[j] -= lik * ak[j]
@@ -65,7 +64,10 @@ func Getrf2(a *mat.Matrix, ipiv []int) error {
 }
 
 // Getrf computes a blocked LU factorization with partial pivoting in place,
-// with block size nb. Semantics match Getrf2 (right-looking variant).
+// with block size nb. Semantics match Getrf2 (right-looking variant). The
+// trailing update is one TrsmLowerLeft + Gemm pair per panel, so nearly all
+// flops run on the cache-blocked level-3 kernels; the default nb matches
+// their triangular block size.
 func Getrf(a *mat.Matrix, ipiv []int, nb int) error {
 	m, n := a.Rows, a.Cols
 	if m < n {
@@ -75,7 +77,7 @@ func Getrf(a *mat.Matrix, ipiv []int, nb int) error {
 		panic("lapack: Getrf ipiv length mismatch")
 	}
 	if nb <= 0 {
-		nb = 32
+		nb = 64
 	}
 	if a.Phantom() {
 		for k := range ipiv {

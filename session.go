@@ -77,20 +77,21 @@ type SessionStats struct {
 
 // sessionConfig is the resolved, immutable configuration of a Session.
 type sessionConfig struct {
-	ranks        int
-	memory       float64 // 0: paper's max-replication default, per n
-	algorithm    Algorithm
-	machine      Machine
-	machineSet   bool
-	solveRanks   int // 0: ranks
-	rhs          int
-	refineSweeps int
-	nb           int
-	timeout      time.Duration
-	executor     smpi.Executor // "" = auto
-	workers      int           // 0 = 1: serial event schedule
-	topology     topo.Spec     // zero = plain machine path
-	faults       topo.FaultPlan
+	ranks         int
+	memory        float64 // 0: paper's max-replication default, per n
+	algorithm     Algorithm
+	machine       Machine
+	machineSet    bool
+	solveRanks    int // 0: ranks
+	rhs           int
+	refineSweeps  int
+	nb            int
+	timeout       time.Duration
+	executor      smpi.Executor // "" = auto
+	workers       int           // 0 = 1: serial event schedule
+	kernelWorkers int           // 0 = 1: serial level-3 kernels
+	topology      topo.Spec     // zero = plain machine path
+	faults        topo.FaultPlan
 }
 
 func defaultSessionConfig() sessionConfig {
@@ -247,6 +248,26 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithKernelWorkers sets the number of goroutines the local level-3
+// kernels (blocked GEMM/TRSM, internal/blas) may use for their outer loop
+// over C row-blocks during numeric runs (default 1: serial). Like
+// WithWorkers, the knob is pinned to change nothing observable: every C
+// element is owned by exactly one goroutine and accumulated in a fixed
+// k-order, so numeric factors are bit-identical at every width (DESIGN.md
+// §15) and the option is excluded from result cache keys. The setting is
+// process-wide while the session's runs execute — kernels have no
+// per-call context — so concurrent sessions with different widths race
+// harmlessly: either width computes the same bits.
+func WithKernelWorkers(n int) Option {
+	return func(c *sessionConfig) error {
+		if n < 1 {
+			return fmt.Errorf("conflux: WithKernelWorkers requires n >= 1, got %d", n)
+		}
+		c.kernelWorkers = n
+		return nil
+	}
+}
+
 // WithTimeout sets the safety-net bound on every simulation the session
 // runs, applied on top of whatever deadline the per-call context carries —
 // it exists so a schedule bug surfaces as ErrCanceled instead of a
@@ -363,6 +384,10 @@ type Config struct {
 	// minimum 1). Reports are bit-identical at every width (DESIGN.md
 	// §12), so like Executor it is cache-key-irrelevant.
 	Workers int
+	// KernelWorkers is the local level-3 kernels' goroutine count
+	// (resolved; minimum 1). Numeric factors are bit-identical at every
+	// width (DESIGN.md §15), so like Workers it is cache-key-irrelevant.
+	KernelWorkers int
 }
 
 // Config returns the session's resolved configuration — the canonical
@@ -372,24 +397,29 @@ func (s *Session) Config() Config {
 	if workers < 1 {
 		workers = 1
 	}
+	kworkers := s.cfg.kernelWorkers
+	if kworkers < 1 {
+		kworkers = 1
+	}
 	exec := string(s.cfg.executor)
 	if exec == "" {
 		exec = string(smpi.ExecAuto)
 	}
 	return Config{
-		Ranks:        s.cfg.ranks,
-		Memory:       s.cfg.memory,
-		Algorithm:    s.cfg.algorithm,
-		Machine:      s.cfg.machine,
-		SolveRanks:   s.cfg.solveRanks,
-		RHS:          s.cfg.rhs,
-		RefineSweeps: s.cfg.refineSweeps,
-		BlockSize:    s.cfg.nb,
-		Topology:     s.cfg.topology,
-		Faults:       s.cfg.faults.Canonical(),
-		Timeout:      s.cfg.timeout,
-		Executor:     exec,
-		Workers:      workers,
+		Ranks:         s.cfg.ranks,
+		Memory:        s.cfg.memory,
+		Algorithm:     s.cfg.algorithm,
+		Machine:       s.cfg.machine,
+		SolveRanks:    s.cfg.solveRanks,
+		RHS:           s.cfg.rhs,
+		RefineSweeps:  s.cfg.refineSweeps,
+		BlockSize:     s.cfg.nb,
+		Topology:      s.cfg.topology,
+		Faults:        s.cfg.faults.Canonical(),
+		Timeout:       s.cfg.timeout,
+		Executor:      exec,
+		Workers:       workers,
+		KernelWorkers: kworkers,
 	}
 }
 
@@ -411,6 +441,12 @@ func (s *Session) run(ctx context.Context, world int, payload bool, fn smpi.Rank
 		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.timeout,
 			fmt.Errorf("conflux: simulation exceeded the session safety timeout %v", s.cfg.timeout))
 		defer cancel()
+	}
+	// The kernel worker count is process-wide (see WithKernelWorkers):
+	// re-asserted at the start of every configured run so the session's
+	// numeric kernels execute at the configured width.
+	if s.cfg.kernelWorkers > 0 {
+		blas.SetKernelWorkers(s.cfg.kernelWorkers)
 	}
 	// The topology is built per run: fault plans and fat-tree heights are
 	// sized to the world actually simulated (which can exceed Ranks when
